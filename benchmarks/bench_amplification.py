@@ -1,0 +1,96 @@
+"""Sections 3.3 and 4.3: throughput amplification and port allocation.
+
+Two parts:
+
+1. the closed-form arithmetic — 148.8 Mpps of SCHE feeding
+   floor(148.8 / data_pps) ports: 1.2 Tbps at MTU 1024, 1.8 Tbps ideal /
+   1.3 Tbps pipeline-capped at MTU 1518, crossover at MTU 1072;
+2. a measured amplification run — the full simulated tester drives all
+   12 test ports at line rate from one 100 Gbps SCHE stream, and the
+   aggregate generated DATA rate is read back from the port counters.
+"""
+
+from conftest import print_header, print_table, run_once
+
+from repro import ControlPlane, TestConfig
+from repro.core import amplification_report
+from repro.pswitch.port_allocation import allocate_ports
+from repro.units import GBPS, MS, TBPS, US, format_rate
+
+
+def test_amplification_arithmetic(benchmark):
+    reports = run_once(
+        benchmark, lambda: [amplification_report(mtu) for mtu in (512, 1024, 1072, 1518)]
+    )
+    print_header("Section 3.3: throughput amplification arithmetic")
+    print_table(
+        [
+            {
+                "MTU": report.mtu_bytes,
+                "SCHE Mpps": f"{report.sche_pps / 1e6:.1f}",
+                "DATA Mpps/port": f"{report.data_pps_per_port / 1e6:.3f}",
+                "factor": report.amplification_factor,
+                "ideal": format_rate(report.ideal_rate_bps),
+                "one pipeline": format_rate(report.pipeline_rate_bps),
+            }
+            for report in reports
+        ],
+        ["MTU", "SCHE Mpps", "DATA Mpps/port", "factor", "ideal", "one pipeline"],
+    )
+    by_mtu = {report.mtu_bytes: report for report in reports}
+    assert by_mtu[1024].pipeline_rate_bps == 1.2 * TBPS
+    assert by_mtu[1518].ideal_rate_bps == 1.8 * TBPS
+    assert by_mtu[1518].pipeline_rate_bps == 1.3 * TBPS
+    assert by_mtu[1072].amplification_factor == 13
+
+    allocation = allocate_ports(1024)
+    print(
+        f"\nSection 4.3 port allocation @MTU1024: {allocation.test_ports} test + "
+        f"{allocation.sche_info_ports} SCHE/INFO + {allocation.enqueue_ports} "
+        f"enqueue + {allocation.loopback_ports} loopback ports "
+        f"({allocation.total_ports}/16 used)"
+    )
+    assert allocation.total_ports <= 16
+
+
+def test_amplification_measured(benchmark):
+    """Drive the full 12-port tester and measure the generated rate."""
+    duration = 300 * US
+
+    def run():
+        cp = ControlPlane()
+        tester = cp.deploy(
+            TestConfig(cc_algorithm="dcqcn", template_bytes=1024)
+        )  # 12 test ports, the Section 4.3 optimum
+        cp.wire_loopback_fabric()
+        # 6 sender ports -> 6 receiver ports, each pair at line rate, and
+        # the reverse pairing too so all 12 ports transmit DATA.
+        n = tester.n_test_ports
+        for src in range(n):
+            tester.start_flow(
+                port_index=src,
+                dst_port_index=(src + n // 2) % n,
+                size_packets=10**9,
+            )
+        cp.run(duration_ps=duration)
+        counters = cp.read_measurements()
+        data_bits = counters["switch.data_generated"] * 1024 * 8
+        sche_bits = counters["switch.sche_accepted"] * 64 * 8
+        return data_bits, sche_bits, counters
+
+    data_bits, sche_bits, counters = run_once(benchmark, run)
+    seconds = duration / 1e12
+    data_rate = data_bits / seconds
+    sche_goodput = sche_bits / seconds
+    print_header(
+        "Section 3.3 measured: SCHE -> DATA amplification",
+        f"full tester simulation, {duration / US:.0f} us at 12 x 100 Gbps",
+    )
+    print(f"generated DATA rate : {format_rate(data_rate)} (paper: 1.2 Tbps)")
+    print(f"SCHE stream payload : {format_rate(sche_goodput)} over one 100 G port")
+    print(f"amplification ratio : {data_bits / sche_bits:.1f}x in payload bits")
+    print(f"false packet losses : {counters['switch.sche_dropped']}")
+
+    # Within 10% of the 1.2 Tbps headline (ramp effects at this duration).
+    assert data_rate >= 0.9 * 1.2e12
+    assert counters["switch.sche_dropped"] == 0

@@ -1,0 +1,123 @@
+"""Figure 5: CC module correctness — cwnd and alpha vs the reference.
+
+One DCTCP flow with deterministic injected drops (points A and C) and an
+ECN-marking episode (point B), traced through Marlin's fine-grained
+logging and compared with the independent ns3-style reference simulator.
+Prints both trajectories' landmarks and the deviation metrics.
+"""
+
+import numpy as np
+from conftest import print_header, print_table, run_once
+
+from repro import ControlPlane, TestConfig
+from repro.reference.ns3_dctcp import run_reference_dctcp
+from repro.units import MS, US, microseconds
+
+TOTAL_PACKETS = 4000
+POINT_A = 1200
+POINT_C = 2800
+MARK_B = frozenset(range(2000, 2020))
+DROPS = frozenset({POINT_A, POINT_C})
+
+
+def run_marlin():
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(
+            cc_algorithm="dctcp",
+            n_test_ports=2,
+            trace_cc=True,
+            cc_params={"initial_ssthresh": 64.0, "initial_cwnd": 1.0},
+        )
+    )
+    cp.wire_loopback_fabric()
+    dropped = set()
+
+    def packet_filter(packet, port):
+        if packet.ptype == "DATA":
+            if (
+                packet.psn in DROPS
+                and packet.psn not in dropped
+                and not packet.meta.get("is_rtx")
+            ):
+                dropped.add(packet.psn)
+                return False
+            if packet.psn in MARK_B:
+                packet.mark_ce()
+        return True
+
+    cp.fabric.packet_filter = packet_filter
+    flow = tester.start_flow(port_index=0, dst_port_index=1, size_packets=TOTAL_PACKETS)
+    cp.run(duration_ps=20 * MS)
+    cwnd = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+    alpha = tester.nic.logger.series(f"flow{flow.flow_id}.slow", "alpha")
+    return flow, cwnd, alpha
+
+
+def test_fig5_cc_correctness(benchmark):
+    def experiment():
+        flow, (mt, mc), (at, av) = run_marlin()
+        reference = run_reference_dctcp(
+            total_packets=TOTAL_PACKETS,
+            drop_psns=DROPS,
+            mark_psns=MARK_B,
+            rtt_ps=6 * US,
+        )
+        return flow, mt, mc, at, av, reference
+
+    flow, mt, mc, at, av, ref = run_once(benchmark, experiment)
+
+    print_header(
+        "Figure 5: DCTCP cwnd/alpha, Marlin vs reference ('ns3')",
+        f"{TOTAL_PACKETS} packets; drops at PSN {POINT_A} (A) and {POINT_C} (C); "
+        f"ECN marks at PSN 2000-2019 (B)",
+    )
+    print_table(
+        [
+            {
+                "metric": "flow completion time (us)",
+                "Marlin": round(microseconds(flow.fct_ps), 1),
+                "reference": round(microseconds(ref.finish_ps), 1),
+            },
+            {
+                "metric": "retransmissions",
+                "Marlin": flow.rtx_sent,
+                "reference": ref.retransmissions,
+            },
+            {
+                "metric": "peak cwnd (packets)",
+                "Marlin": round(max(mc), 1),
+                "reference": round(max(ref.cwnd_values), 1),
+            },
+            {
+                "metric": "slow-start exit cwnd",
+                "Marlin": round(max(mc[:200]), 1),
+                "reference": round(max(ref.cwnd_values[:200]), 1),
+            },
+            {
+                "metric": "final alpha",
+                "Marlin": round(av[-1], 4),
+                "reference": round(ref.alpha_values[-1], 4),
+            },
+            {
+                "metric": "peak alpha after B",
+                "Marlin": round(max(av[len(av) // 3 :]), 4),
+                "reference": round(max(ref.alpha_values[len(ref.alpha_values) // 3 :]), 4),
+            },
+        ],
+        ["metric", "Marlin", "reference"],
+    )
+
+    # Trajectory deviation on normalized time.
+    m_norm = np.asarray(mt, dtype=float) / mt[-1]
+    r_norm = np.asarray(ref.cwnd_times_ps, dtype=float) / ref.cwnd_times_ps[-1]
+    grid = np.linspace(0.02, 0.98, 200)
+    marlin_i = np.interp(grid, m_norm, mc)
+    ref_i = np.interp(grid, r_norm, ref.cwnd_values)
+    deviation = float(np.mean(np.abs(marlin_i - ref_i) / np.maximum(ref_i, 1.0)))
+    print(f"\nmean cwnd trajectory deviation (normalized time): {deviation:.3f}")
+
+    assert flow.finished and ref.completed
+    assert flow.rtx_sent == ref.retransmissions == 2
+    assert deviation < 0.15
+    assert abs(av[-1] - ref.alpha_values[-1]) < 0.01

@@ -1,0 +1,73 @@
+"""Figure 6: single-port multi-flow scheduling.
+
+Multiple DCTCP flows leave one test port toward one receiver port
+through a pass-through fabric: the scheduling FIFO must share the port
+evenly (flat, equal per-flow rate lines summing to ~100 Gbps).  The
+paper runs 180 s on hardware; the simulation runs a few milliseconds —
+fairness of the rescheduling loop is established within one RTT.
+"""
+
+from conftest import print_header, print_table, run_once
+
+from repro import ControlPlane, TestConfig
+from repro.measure.fairness import jain_index
+from repro.units import GBPS, MS, US, format_rate
+
+N_FLOWS = 6
+DURATION = 4 * MS
+SAMPLE = 250 * US
+
+
+def run():
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(
+            cc_algorithm="dctcp",
+            n_test_ports=2,
+            flows_per_port=N_FLOWS,
+            cc_params={"initial_ssthresh": 512.0},
+        )
+    )
+    cp.wire_loopback_fabric()
+    sampler = tester.enable_rate_sampling(period_ps=SAMPLE)
+    cp.start_flows(size_packets=10**9, pattern="pairs")
+    cp.run(duration_ps=DURATION)
+    return tester, sampler
+
+
+def test_fig6_single_port_scheduling(benchmark):
+    tester, sampler = run_once(benchmark, run)
+
+    # Steady-state: the second half of the samples.
+    steady = sampler.samples[len(sampler.samples) // 2 :]
+    flows = sorted(
+        name for name in steady[-1].rates_bps if name.startswith("flow")
+    )
+    rows = []
+    for name in flows:
+        rates = [sample.rates_bps[name] for sample in steady]
+        rows.append(
+            {
+                "flow": name,
+                "mean rate": format_rate(sum(rates) / len(rates)),
+                "min": format_rate(min(rates)),
+                "max": format_rate(max(rates)),
+            }
+        )
+    print_header(
+        "Figure 6: single-port multi-flow scheduling",
+        f"{N_FLOWS} DCTCP flows on one 100 G port, {DURATION / MS:.0f} ms "
+        f"(paper: 180 s)",
+    )
+    print_table(rows, ["flow", "mean rate", "min", "max"])
+
+    last = steady[-1].rates_bps
+    flow_rates = [rate for name, rate in last.items() if name.startswith("flow")]
+    total = sum(flow_rates)
+    fairness = jain_index(flow_rates)
+    print(f"\ntotal throughput: {format_rate(total)} (paper: ~100 Gbps)")
+    print(f"Jain fairness   : {fairness:.4f} (1.0 = perfectly even)")
+
+    assert len(flow_rates) == N_FLOWS
+    assert fairness > 0.98
+    assert total >= 0.9 * 100 * GBPS

@@ -1,0 +1,133 @@
+"""Figure 8: multi-flow performance under congestion.
+
+Flows start sequentially on different ports, all routed to the same
+destination port, then terminate sequentially: DCTCP and DCQCN must
+converge to an even share of the 100 Gbps bottleneck after each arrival
+and re-absorb bandwidth after each departure.  DCTCP is expected to show
+more throughput oscillation than DCQCN (the paper's observation).
+
+The paper staggers 12 flows over 180 s; the simulation staggers 3 flows
+over milliseconds — thousands of RTTs between events, enough for
+convergence at each step.
+"""
+
+import numpy as np
+from conftest import print_header, print_table, run_once
+
+from repro import ControlPlane, TestConfig
+from repro.measure.fairness import jain_index
+from repro.units import GBPS, MS, US, format_rate
+
+N_SENDERS = 3
+STAGGER = 3 * MS
+SAMPLE = 250 * US
+
+
+def run(alg):
+    params = {"initial_ssthresh": 1024.0} if alg == "dctcp" else {}
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(cc_algorithm=alg, n_test_ports=N_SENDERS + 1, cc_params=params)
+    )
+    cp.wire_loopback_fabric()
+    sampler = tester.enable_rate_sampling(period_ps=SAMPLE)
+    flows = []
+    for i in range(N_SENDERS):
+        flow = tester.start_flow(
+            port_index=i,
+            dst_port_index=N_SENDERS,
+            size_packets=10**9,  # long-lived; terminated explicitly
+            start_at_ps=i * STAGGER,
+        )
+        flows.append(flow)
+        # Terminations in arrival order, after all arrivals are done.
+        cp.sim.at((N_SENDERS + i) * STAGGER, tester.stop_flow, flow.flow_id)
+    cp.run(duration_ps=2 * N_SENDERS * STAGGER)
+    return tester, sampler, flows
+
+
+def phase_rates(sampler, phase_index):
+    """Mean per-flow rates over the last third of phase ``phase_index``
+    (phases are STAGGER-long windows between arrival/departure events)."""
+    lo = phase_index * STAGGER + 2 * STAGGER // 3
+    hi = (phase_index + 1) * STAGGER
+    window = [s for s in sampler.samples if lo <= s.time_ps <= hi]
+    rates: dict[str, list[float]] = {}
+    for sample in window:
+        for name, rate in sample.rates_bps.items():
+            if name.startswith("flow"):
+                rates.setdefault(name, []).append(rate)
+    means = {
+        name: float(np.mean(series))
+        for name, series in rates.items()
+        if np.mean(series) > 1 * GBPS
+    }
+    return means
+
+
+def summarize(alg, sampler):
+    rows = []
+    phases = []
+    labels = (
+        [f"{k + 1} active (arriving)" for k in range(N_SENDERS)]
+        + [f"{N_SENDERS - k - 1} active (departing)" for k in range(N_SENDERS)]
+    )
+    for index, label in enumerate(labels):
+        means = phase_rates(sampler, index)
+        values = sorted(means.values(), reverse=True)
+        rows.append(
+            {
+                "phase": label,
+                "per-flow": " ".join(format_rate(v) for v in values) or "-",
+                "total": format_rate(sum(values)),
+                "jain": round(jain_index(values), 3) if values else "-",
+            }
+        )
+        phases.append((label, values))
+    print_header(
+        f"Figure 8 ({alg.upper()}): staggered flows over a shared bottleneck",
+        f"{N_SENDERS} senders -> 1 port, events every {STAGGER / MS:.0f} ms "
+        f"(paper: 12 flows over 180 s)",
+    )
+    print_table(rows, ["phase", "per-flow", "total", "jain"])
+    return phases
+
+
+def oscillation(sampler, flow_name="flow1"):
+    """Coefficient of variation of one flow's steady-phase rate."""
+    lo, hi = STAGGER * (N_SENDERS - 1), STAGGER * N_SENDERS
+    series = [
+        s.rates_bps.get(flow_name, 0.0)
+        for s in sampler.samples
+        if lo <= s.time_ps <= hi
+    ]
+    series = [v for v in series if v > 0]
+    return float(np.std(series) / np.mean(series)) if series else 0.0
+
+
+def check_phases(phases, min_jain):
+    expected_active = list(range(1, N_SENDERS + 1)) + list(
+        range(N_SENDERS - 1, -1, -1)
+    )
+    for (label, values), expected in zip(phases, expected_active):
+        assert len(values) == expected, f"{label}: {len(values)} != {expected}"
+        if expected >= 1:
+            assert sum(values) >= 0.75 * 100 * GBPS, f"{label}: underutilized"
+        if expected >= 2:
+            assert jain_index(values) > min_jain, f"{label}: unfair {values}"
+
+
+def test_fig8_congestion_dctcp(benchmark):
+    tester, sampler, flows = run_once(benchmark, lambda: run("dctcp"))
+    phases = summarize("dctcp", sampler)
+    cv = oscillation(sampler)
+    print(f"\nDCTCP steady-phase rate oscillation (CV): {cv:.3f}")
+    check_phases(phases, min_jain=0.80)
+
+
+def test_fig8_congestion_dcqcn(benchmark):
+    tester, sampler, flows = run_once(benchmark, lambda: run("dcqcn"))
+    phases = summarize("dcqcn", sampler)
+    cv = oscillation(sampler)
+    print(f"\nDCQCN steady-phase rate oscillation (CV): {cv:.3f}")
+    check_phases(phases, min_jain=0.95)

@@ -1,0 +1,80 @@
+"""Fluid-model validation: flow-level vs packet-level, side by side.
+
+The Figure 10 bench relies on the fluid model where packet-level
+simulation is infeasible.  This bench earns that trust where both are
+feasible: identical closed-loop fixed-size workloads run through the
+full packet-level tester and through the fluid model, at two flow
+populations, for DCQCN and DCTCP; mean FCTs must agree within 2x
+(same regime/order — the fluid model abstracts queueing transients).
+"""
+
+from conftest import print_header, print_table, run_once
+
+import numpy as np
+
+from repro import ControlPlane, TestConfig
+from repro.fluid import FluidSimulator, dcqcn_profile, dctcp_profile
+from repro.units import MICROSECOND, MS
+from repro.workload import ClosedLoopGenerator, FixedSize, FlowSlot
+
+CASES = [
+    # (algorithm, flows sharing one port, flow size bytes)
+    ("dcqcn", 4, 2_000 * 1024),
+    ("dcqcn", 8, 1_000 * 1024),
+    ("dctcp", 4, 2_000 * 1024),
+]
+
+
+def packet_level(alg, n_flows, size_bytes):
+    params = {"initial_ssthresh": 512.0} if alg == "dctcp" else {}
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(cc_algorithm=alg, n_test_ports=2, cc_params=params)
+    )
+    cp.wire_loopback_fabric()
+    generator = ClosedLoopGenerator(
+        tester,
+        FixedSize(size_bytes),
+        [FlowSlot(0, 1) for _ in range(n_flows)],
+        rng=np.random.default_rng(0),
+        stop_after_flows=3 * n_flows,
+    )
+    generator.start()
+    cp.run(duration_ps=120 * MS)
+    return float(np.mean(tester.fct.fcts_us()))
+
+
+def fluid_level(alg, n_flows, size_bytes):
+    profile = (
+        dcqcn_profile(jitter_sigma=0.0)
+        if alg == "dcqcn"
+        else dctcp_profile(jitter_sigma=0.0)
+    )
+    fluid = FluidSimulator(n_ports=1, flows_per_port=n_flows, seed=0)
+    return fluid.flow_fct_ps(size_bytes, profile) / MICROSECOND
+
+
+def test_fluid_vs_packet_validation(benchmark):
+    def run():
+        rows = []
+        for alg, n_flows, size_bytes in CASES:
+            packet_us = packet_level(alg, n_flows, size_bytes)
+            fluid_us = fluid_level(alg, n_flows, size_bytes)
+            rows.append(
+                {
+                    "case": f"{alg}, {n_flows} flows, {size_bytes // 1024} kB",
+                    "packet-level (us)": round(packet_us, 1),
+                    "fluid (us)": round(fluid_us, 1),
+                    "ratio": round(fluid_us / packet_us, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_header(
+        "Fluid-model validation (backs the Figure 10 methodology)",
+        "closed-loop fixed-size flows over one 100 G port, mean FCT",
+    )
+    print_table(rows, ["case", "packet-level (us)", "fluid (us)", "ratio"])
+    for row in rows:
+        assert 0.5 <= row["ratio"] <= 2.0, row

@@ -1,0 +1,72 @@
+"""PFC extension bench: lossless incast and the ECN-before-PAUSE story.
+
+DCQCN's deployment pairs it with PFC: PAUSE frames guarantee
+losslessness, and DCQCN's job is to keep PAUSE from firing (with its
+head-of-line-blocking side effects).  Three configurations of the same
+3-to-1 DCQCN incast over small-buffer switches:
+
+1. no PFC                    -> buffer overruns drop packets;
+2. PFC, aggressive ECN       -> lossless AND PAUSE almost never fires;
+3. PFC, ECN above XOFF       -> lossless but PAUSE storms (HOL risk).
+"""
+
+from conftest import print_header, print_table, run_once
+
+from repro import ControlPlane, TestConfig
+from repro.net.pfc import enable_pfc
+from repro.units import GBPS, MS, format_rate
+
+CAPACITY = 128 * 1024
+XOFF, XON = 40_000, 20_000
+DURATION = 15 * MS
+
+
+def run_case(name, *, pfc, ecn_threshold):
+    cp = ControlPlane()
+    tester = cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=4))
+    cp.wire_loopback_fabric(
+        queue_capacity_bytes=CAPACITY, ecn_threshold_bytes=ecn_threshold
+    )
+    assert cp.fabric is not None
+    controller = enable_pfc(cp.fabric, xoff_bytes=XOFF, xon_bytes=XON) if pfc else None
+    cp.start_flows(size_packets=3000, pattern="fan_in")
+    cp.run(duration_ps=DURATION)
+    counters = cp.read_measurements()
+    drops = sum(p.queue.stats.dropped_packets for p in cp.fabric.ports)
+    return {
+        "configuration": name,
+        "network drops": drops,
+        "PAUSE frames": controller.pause_frames_sent if controller else "-",
+        "flows done": counters["fpga.flows_completed"],
+        "goodput": format_rate(
+            counters["switch.acks_generated"] * 1024 * 8 / (DURATION / 1e12)
+        ),
+    }
+
+
+def test_pfc_lossless_incast(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            run_case("no PFC, ECN K=20kB", pfc=False, ecn_threshold=20_000),
+            run_case("PFC + ECN K=20kB (recommended)", pfc=True, ecn_threshold=20_000),
+            run_case("PFC + ECN K=100kB (K > XOFF)", pfc=True, ecn_threshold=100_000),
+        ],
+    )
+    print_header(
+        "Extension: PFC losslessness vs ECN configuration",
+        f"3-to-1 DCQCN incast, {CAPACITY // 1024} kB buffers, "
+        f"XOFF/XON {XOFF // 1000}/{XON // 1000} kB, {DURATION / MS:.0f} ms",
+    )
+    print_table(
+        rows,
+        ["configuration", "network drops", "PAUSE frames", "flows done", "goodput"],
+    )
+
+    no_pfc, recommended, miscfg = rows
+    assert no_pfc["network drops"] > 0
+    assert recommended["network drops"] == 0
+    assert miscfg["network drops"] == 0
+    # With ECN below XOFF, DCQCN reacts first: far fewer PAUSE frames
+    # than when marking starts only above the PFC threshold.
+    assert recommended["PAUSE frames"] < miscfg["PAUSE frames"]

@@ -1,0 +1,45 @@
+"""Simulator performance: raw event-engine and full-datapath rates.
+
+Not a paper figure — these are the numbers a *user of this library*
+needs to size their experiments: how many engine events and how many
+end-to-end DATA packets the simulation processes per host-second.
+Unlike the run-once experiment benches, these run multiple rounds so
+pytest-benchmark produces real statistics.
+"""
+
+from repro import ControlPlane, TestConfig
+from repro.sim import Simulator
+from repro.units import US
+
+
+def test_engine_event_rate(benchmark):
+    """A tight self-rescheduling callback chain: pure engine overhead."""
+
+    def run():
+        sim = Simulator()
+
+        def tick():
+            if sim.now < 10_000_000:  # 10k events at 1 ns apart
+                sim.after(1000, tick)
+
+        sim.at(0, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_full_datapath_rate(benchmark):
+    """End-to-end packets through SCHE->DATA->ACK->INFO->CC per second."""
+
+    def run():
+        cp = ControlPlane()
+        tester = cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=2))
+        cp.wire_loopback_fabric()
+        cp.start_flows(size_packets=10**9, pattern="pairs")
+        cp.run(duration_ps=200 * US)
+        return cp.read_measurements()["switch.data_generated"]
+
+    packets = benchmark(run)
+    assert packets > 1000

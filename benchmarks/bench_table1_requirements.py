@@ -1,0 +1,51 @@
+"""Table 1: network tester classes vs the three requirements.
+
+Regenerates the paper's requirement matrix from the quantitative baseline
+models: R1 (CC traffic), R2 (customizable CC), R3 (Tbps throughput).
+"""
+
+from conftest import check_mark, print_header, print_table, run_once
+
+from repro.core import tester_requirements_table as requirements_table
+
+
+def test_table1_requirements(benchmark):
+    rows = run_once(benchmark, requirements_table)
+
+    print_header("Table 1: tester classes vs requirements (paper Table 1)")
+    print_table(
+        [
+            {
+                "tester": row.tester,
+                "R1 (CC traffic)": check_mark(row.r1_cc_traffic),
+                "R2 (custom CC)": check_mark(row.r2_custom_cc),
+                "R3 (Tbps)": check_mark(row.r3_tbps),
+                "why": row.note,
+            }
+            for row in rows
+        ],
+        ["tester", "R1 (CC traffic)", "R2 (custom CC)", "R3 (Tbps)", "why"],
+    )
+
+    by_name = {row.tester: row for row in rows}
+    # The paper's checkmarks, verbatim.
+    assert (True, True, False) == (
+        by_name["software & FPGA"].r1_cc_traffic,
+        by_name["software & FPGA"].r2_custom_cc,
+        by_name["software & FPGA"].r3_tbps,
+    )
+    assert (True, False, False) == (
+        by_name["commercial"].r1_cc_traffic,
+        by_name["commercial"].r2_custom_cc,
+        by_name["commercial"].r3_tbps,
+    )
+    assert (False, False, True) == (
+        by_name["programmable switch"].r1_cc_traffic,
+        by_name["programmable switch"].r2_custom_cc,
+        by_name["programmable switch"].r3_tbps,
+    )
+    assert (True, True, True) == (
+        by_name["Marlin"].r1_cc_traffic,
+        by_name["Marlin"].r2_custom_cc,
+        by_name["Marlin"].r3_tbps,
+    )

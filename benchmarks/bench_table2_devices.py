@@ -1,0 +1,47 @@
+"""Table 2: device characteristics required for CC testing.
+
+Regenerates the programmability / packet-frequency / throughput matrix
+for host, programmable switch, FPGA, and Marlin, with each checkmark
+derived from the Section 2.1 arithmetic (81 Mpps needed at 1 Tbps and
+MTU 1518; 3 GHz / 50 cycles = 60 Mpps; 322 MHz FPGA clock; 2,400 Mpps
+Tofino pipeline).
+"""
+
+from conftest import check_mark, print_header, print_table, run_once
+
+from repro.core import device_characteristics_table
+from repro.core.capabilities import required_pps
+from repro.units import format_rate
+
+
+def test_table2_devices(benchmark):
+    rows = run_once(benchmark, device_characteristics_table)
+
+    need = required_pps()
+    print_header(
+        "Table 2: device characteristics (paper Table 2)",
+        f"target: 1 Tbps at MTU 1518 -> {need / 1e6:.1f} Mpps required",
+    )
+    print_table(
+        [
+            {
+                "device": row.device,
+                "programmability": check_mark(row.programmability),
+                "freq": check_mark(row.frequency),
+                "throughput": check_mark(row.throughput),
+                "max pps": f"{row.max_pps / 1e6:.0f} Mpps",
+                "max rate": format_rate(row.max_throughput_bps),
+            }
+            for row in rows
+        ],
+        ["device", "programmability", "freq", "throughput", "max pps", "max rate"],
+    )
+
+    matrix = {
+        row.device: (row.programmability, row.frequency, row.throughput)
+        for row in rows
+    }
+    assert matrix["host"] == (True, False, False)
+    assert matrix["programmable switch"] == (False, True, True)
+    assert matrix["FPGA"] == (True, True, False)
+    assert matrix["Marlin"] == (True, True, True)

@@ -1,0 +1,98 @@
+"""Table 4: per-CC-module lines of code, clock cycles, and resources.
+
+Regenerates the paper's implementation-cost table from the op-cost model
+(cycles), the per-flow state model (BRAM at 65,536 flows), and the
+linear LUT/FF fit, printed side by side with the paper's measured values.
+LoC is reported twice: the paper's HLS line counts and our Python module
+line counts.
+"""
+
+import inspect
+
+from conftest import print_header, print_table, run_once
+
+import repro.cc as cc
+from repro.fpga.resources import PAPER_TABLE4, estimate_resources
+
+
+def python_loc(algorithm_name: str) -> int:
+    module = inspect.getmodule(type(cc.create(algorithm_name)))
+    source = inspect.getsource(module)
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def build_rows():
+    rows = []
+    for name in ("reno", "dctcp", "dcqcn"):
+        algorithm = cc.create(name)
+        report = estimate_resources(algorithm)
+        paper = PAPER_TABLE4[name]
+        rows.append(
+            {
+                "algorithm": name,
+                "LoC (paper HLS)": paper["loc"],
+                "LoC (ours, py)": python_loc(name),
+                "clk (paper)": paper["cycles"],
+                "clk (ours)": report.cycles,
+                "CC LUT% (paper/ours)": f"{paper['cc_lut']}/{report.cc_lut_pct:.1f}",
+                "CC FF% (paper/ours)": f"{paper['cc_ff']}/{report.cc_ff_pct:.1f}",
+                "BRAM% (paper/ours)": f"{paper['bram']}/{report.bram_pct:.1f}",
+            }
+        )
+    return rows
+
+
+def test_table4_resources(benchmark):
+    rows = run_once(benchmark, build_rows)
+
+    print_header(
+        "Table 4: CC module implementation cost (paper Table 4)",
+        "cycles from the HLS op-cost model; BRAM for 65,536 flows",
+    )
+    print_table(
+        rows,
+        [
+            "algorithm",
+            "LoC (paper HLS)",
+            "LoC (ours, py)",
+            "clk (paper)",
+            "clk (ours)",
+            "CC LUT% (paper/ours)",
+            "CC FF% (paper/ours)",
+            "BRAM% (paper/ours)",
+        ],
+    )
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # Cycle counts reproduce exactly.
+    assert by_name["reno"]["clk (ours)"] == 2
+    assert by_name["dctcp"]["clk (ours)"] == 24
+    assert by_name["dcqcn"]["clk (ours)"] == 6
+    # BRAM within 2.5 points of the paper for every algorithm.
+    for name in ("reno", "dctcp", "dcqcn"):
+        paper_bram, ours_bram = by_name[name]["BRAM% (paper/ours)"].split("/")
+        assert abs(float(paper_bram) - float(ours_bram)) <= 2.5
+
+    # Extension algorithms (not in the paper's table): same cost models.
+    extra = []
+    for name in ("cubic", "timely", "hpcc", "swift"):
+        algorithm = cc.create(name)
+        report = estimate_resources(algorithm)
+        extra.append(
+            {
+                "algorithm": name,
+                "clk (ours)": report.cycles,
+                "CC LUT% (ours)": round(report.cc_lut_pct, 1),
+                "BRAM% (ours)": round(report.bram_pct, 1),
+                "fits 27-cycle budget": "yes" if report.cycles <= 27 else "no",
+            }
+        )
+    print("\nExtension algorithms (beyond the paper's Table 4):")
+    print_table(
+        extra,
+        ["algorithm", "clk (ours)", "CC LUT% (ours)", "BRAM% (ours)",
+         "fits 27-cycle budget"],
+    )
+    by_extra = {row["algorithm"]: row for row in extra}
+    assert by_extra["cubic"]["fits 27-cycle budget"] == "no"  # Section 8
+    assert by_extra["hpcc"]["fits 27-cycle budget"] == "no"

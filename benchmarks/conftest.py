@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(see DESIGN.md section 4).  Hardware-scale runs are reproduced at scaled
+duration/port counts — rates, RTTs, and BDP relationships are preserved —
+and each bench prints its scale factors alongside its results so the
+output is comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+
+def print_header(title: str, scale_note: str = "") -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    if scale_note:
+        print(f"[scale] {scale_note}")
+    print("=" * 72)
+
+
+def print_table(rows: Sequence[dict], columns: Sequence[str]) -> None:
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+
+
+def check_mark(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def cdf_summary(name: str, fcts_us: np.ndarray) -> dict:
+    return {
+        "series": name,
+        "flows": len(fcts_us),
+        "p10_us": round(float(np.percentile(fcts_us, 10)), 1),
+        "p50_us": round(float(np.percentile(fcts_us, 50)), 1),
+        "p90_us": round(float(np.percentile(fcts_us, 90)), 1),
+        "p99_us": round(float(np.percentile(fcts_us, 99)), 1),
+        "max_us": round(float(np.max(fcts_us)), 1),
+    }
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,64 @@
+"""Parameter sweep: how the ECN marking threshold shapes DCTCP and DCQCN.
+
+The paper's motivation (Section 1): operators must "find the optimal
+configuration by adjusting CC parameters" — and switch parameters like
+the ECN threshold K interact with the CC algorithm.  This example sweeps
+K over a fan-in bottleneck and reports, per algorithm:
+
+* aggregate bottleneck throughput (too-small K -> underutilization),
+* flow fairness,
+* peak queue backlog (too-large K -> standing queues and latency).
+
+Run:  python examples/congestion_sweep.py
+"""
+
+from repro import ControlPlane, TestConfig
+from repro.measure.fairness import jain_index
+from repro.units import GBPS, MS, US, format_rate
+
+
+def run_once(alg: str, ecn_threshold_bytes: int):
+    cp = ControlPlane()
+    params = {"initial_ssthresh": 1024.0} if alg == "dctcp" else {}
+    tester = cp.deploy(
+        TestConfig(cc_algorithm=alg, n_test_ports=4, cc_params=params)
+    )
+    cp.wire_loopback_fabric(ecn_threshold_bytes=ecn_threshold_bytes)
+    sampler = tester.enable_rate_sampling(period_ps=500 * US)
+    for src in range(3):
+        tester.start_flow(port_index=src, dst_port_index=3, size_packets=10**9)
+    cp.run(duration_ps=6 * MS)
+
+    rates = [
+        rate
+        for name, rate in sampler.samples[-1].rates_bps.items()
+        if name.startswith("flow")
+    ]
+    # Bottleneck queue: the fabric port facing the receiving test port.
+    assert cp.fabric is not None
+    bottleneck = cp.fabric.ports[3]  # egress toward test port 3
+    return {
+        "K (kB)": ecn_threshold_bytes // 1000,
+        "throughput": format_rate(sum(rates)),
+        "fairness": round(jain_index(rates), 3),
+        "peak queue (kB)": bottleneck.queue.stats.max_backlog_bytes // 1000,
+        "marked pkts": bottleneck.queue.stats.ecn_marked_packets,
+    }
+
+
+def main() -> None:
+    thresholds = [20_000, 84_000, 400_000, 1_600_000]
+    for alg in ("dctcp", "dcqcn"):
+        print(f"\n=== {alg.upper()}: ECN threshold sweep "
+              f"(3 flows -> one 100 Gbps port) ===")
+        header = None
+        for k in thresholds:
+            row = run_once(alg, k)
+            if header is None:
+                header = list(row)
+                print("  ".join(f"{h:>16s}" for h in header))
+            print("  ".join(f"{str(row[h]):>16s}" for h in header))
+
+
+if __name__ == "__main__":
+    main()

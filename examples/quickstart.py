@@ -1,0 +1,61 @@
+"""Quickstart: deploy a Marlin tester and run a DCTCP test.
+
+This is the 60-second tour: configure a test (CC algorithm, parameters,
+ports), deploy it through the control plane, wire the tester's ports
+through an intermediate switch, start flows, and read the measurements —
+exactly the operator workflow of the paper's Section 3.2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ControlPlane, TestConfig
+from repro.units import MS, format_rate, format_time
+
+
+def main() -> None:
+    # 1. Describe the test: DCTCP on 2 test ports of a simulated
+    #    Tofino+Alveo tester, one flow per port pair.
+    config = TestConfig(
+        cc_algorithm="dctcp",
+        cc_params={"initial_ssthresh": 256.0},
+        template_bytes=1024,  # DATA packet size (sets the 12x amplification)
+        n_test_ports=2,
+        trace_cc=True,  # fine-grained cwnd logging via the QDMA path
+    )
+
+    # 2. Deploy: the control plane builds the programmable-switch and
+    #    FPGA-NIC models and cables them together.
+    control_plane = ControlPlane()
+    tester = control_plane.deploy(config)
+    print(f"deployed tester: {tester.n_test_ports} test ports, "
+          f"algorithm={tester.algorithm.name}")
+    if tester.nic.frequency_warnings:
+        print("frequency-control warnings:", tester.nic.frequency_warnings)
+
+    # 3. Wire the tested network: an intermediate switch that routes each
+    #    test port's address straight back to it (the paper's testbed).
+    control_plane.wire_loopback_fabric()
+
+    # 4. Start one 500-packet flow from port 0 to port 1 and run 5 ms.
+    flow = tester.start_flow(port_index=0, dst_port_index=1, size_packets=500)
+    control_plane.run(duration_ps=5 * MS)
+
+    # 5. Read the results.
+    print(f"\nflow completed: {flow.finished}")
+    print(f"flow completion time: {format_time(flow.fct_ps)}")
+    goodput = flow.size_packets * 1024 * 8 / (flow.fct_ps / 1e12)
+    print(f"goodput: {format_rate(goodput)}")
+
+    print("\nhardware counters (control-plane registers):")
+    for name, value in control_plane.read_measurements().items():
+        print(f"  {name:32s} {value}")
+
+    # 6. The traced congestion window (Figure 5-style data).
+    times, cwnd = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+    print(f"\ncwnd trace: {len(cwnd)} points, peak {max(cwnd):.1f} packets")
+    print("first five points:",
+          [(format_time(t), round(w, 1)) for t, w in list(zip(times, cwnd))[:5]])
+
+
+if __name__ == "__main__":
+    main()

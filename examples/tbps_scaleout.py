@@ -1,0 +1,83 @@
+"""Scale-out: from one pipeline to multi-Tbps, and the dashed receiver path.
+
+Walks the Section 3.3/4.3 arithmetic from one amplified pipeline
+(1.2 Tbps) to the paper's full 2-pipeline switch (2.4 Tbps), runs a live
+two-pipeline test, and demonstrates the Figure 2 dashed path where
+receiver logic runs on the FPGA.
+
+Run:  python examples/tbps_scaleout.py
+"""
+
+from repro import ControlPlane, TestConfig, amplification_report
+from repro.core.multi_pipeline import MultiPipelineTester, scaling_table
+from repro.sim import Simulator
+from repro.units import MS, US, format_rate
+
+
+def arithmetic() -> None:
+    print("=== amplification (Section 3.3) ===")
+    for mtu in (1024, 1518):
+        report = amplification_report(mtu)
+        print(f"MTU {mtu}: x{report.amplification_factor} -> "
+              f"{format_rate(report.ideal_rate_bps)} ideal, "
+              f"{format_rate(report.pipeline_rate_bps)} in one pipeline")
+    print("\n=== pipeline scale-out (Section 4.3) ===")
+    for row in scaling_table(1024, 4):
+        print(f"{row.pipelines} pipeline(s): {row.test_ports} test ports, "
+              f"{row.fpga_cards} FPGA card(s), "
+              f"{format_rate(row.throughput_bps)}")
+
+
+def live_two_pipelines() -> None:
+    print("\n=== live 2-pipeline run (paper's hardware shape) ===")
+    sim = Simulator()
+    tester = MultiPipelineTester(
+        sim, TestConfig(cc_algorithm="dcqcn", n_test_ports=4), n_pipelines=2
+    )
+    tester.wire_fabrics()
+    for pipeline in range(2):
+        for src in (0, 1):
+            tester.start_flow(
+                pipeline=pipeline,
+                port_index=src,
+                dst_port_index=src + 2,
+                size_packets=10**9,
+            )
+    duration = 400 * US
+    sim.run(until_ps=duration)
+    counters = tester.read_counters()
+    rate = counters["switch.data_generated"] * 1024 * 8 / (duration / 1e12)
+    print(f"aggregate capacity : {format_rate(tester.aggregate_capacity_bps)}")
+    print(f"measured (8 ports) : {format_rate(rate)}")
+    print(f"false losses       : {counters['switch.sche_dropped']}")
+
+
+def dashed_receiver_path() -> None:
+    print("\n=== receiver logic on the FPGA (Figure 2 dashed path) ===")
+    for on_fpga in (False, True):
+        cp = ControlPlane()
+        tester = cp.deploy(
+            TestConfig(
+                cc_algorithm="dctcp",
+                n_test_ports=2,
+                receiver_logic_on_fpga=on_fpga,
+                cc_params={"initial_ssthresh": 512.0},
+            )
+        )
+        cp.wire_loopback_fabric()
+        cp.start_flows(size_packets=5000, pattern="pairs")
+        cp.run(duration_ps=5 * MS)
+        record = tester.fct.records[0]
+        where = "FPGA  " if on_fpga else "switch"
+        print(f"receiver on {where}: FCT {record.fct_ps / 1e6:.1f} us, "
+              f"{tester.switch.allocation.total_ports} switch ports used")
+
+
+def main() -> None:
+    arithmetic()
+    live_two_pipelines()
+    dashed_receiver_path()
+
+
+if __name__ == "__main__":
+    main()

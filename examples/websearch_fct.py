@@ -1,0 +1,71 @@
+"""WebSearch FCT testing: packet-level and fluid, side by side.
+
+Reproduces the paper's comprehensive-test methodology (Section 7.5) at
+two scales:
+
+* a packet-level run with a modest flow population (the regime the
+  discrete-event simulator handles),
+* the flow-level (fluid) run at the full 65,536-flow concurrency the
+  hardware supports, against the ideal equal-share reference.
+
+Run:  python examples/websearch_fct.py
+"""
+
+import numpy as np
+
+from repro import ControlPlane, TestConfig
+from repro.fluid import FluidSimulator, dcqcn_profile, dctcp_profile, ideal_profile
+from repro.measure.fct import cdf_points
+from repro.units import MS, format_rate
+from repro.workload import ClosedLoopGenerator, FlowSlot, websearch
+from repro.workload.distributions import EmpiricalCdf, WEBSEARCH_CDF_POINTS
+
+
+def packet_level() -> None:
+    print("=== packet-level: 8 closed-loop WebSearch flows, DCQCN ===")
+    # Scale the sizes down 10x so tail flows finish within the run.
+    scaled = EmpiricalCdf(
+        tuple((size // 10, prob) for size, prob in WEBSEARCH_CDF_POINTS)
+    )
+    cp = ControlPlane()
+    tester = cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=2))
+    cp.wire_loopback_fabric()
+    generator = ClosedLoopGenerator(
+        tester,
+        scaled,
+        [FlowSlot(0, 1) for _ in range(8)],
+        rng=np.random.default_rng(1),
+        stop_after_flows=80,
+    )
+    generator.start()
+    cp.run(duration_ps=200 * MS)
+    stats = tester.fct.stats()
+    print(f"flows: {stats.count}  mean {stats.mean_us:.0f} us  "
+          f"p50 {stats.p50_us:.0f} us  p99 {stats.p99_us:.0f} us")
+
+
+def fluid_level() -> None:
+    print("\n=== fluid: 65,532 concurrent flows across 12 ports ===")
+    fluid = FluidSimulator(n_ports=12, flows_per_port=65_536 // 12, seed=5)
+    for profile in (ideal_profile(), dctcp_profile(), dcqcn_profile()):
+        result = fluid.run(profile, websearch(), flows_total=30_000)
+        fcts = result.fcts_us
+        values, probs = cdf_points(fcts)
+        # Report the CDF at the paper's decade marks.
+        marks = {
+            f"1e{k}us": float(np.mean(fcts <= 10.0**k)) for k in range(1, 8)
+        }
+        marks_str = " ".join(f"{k}:{v:.2f}" for k, v in marks.items())
+        print(f"{profile.name:>6s}: median {np.median(fcts):>12.0f} us   "
+              f"CDF@[{marks_str}]")
+    aggregate = result.throughput_bps() * 12 * (65_536 // 12)
+    print(f"aggregate goodput (last run): {format_rate(aggregate)}")
+
+
+def main() -> None:
+    packet_level()
+    fluid_level()
+
+
+if __name__ == "__main__":
+    main()

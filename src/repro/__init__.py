@@ -1,0 +1,54 @@
+"""Marlin (EuroSys '25) reproduction: high-throughput CC testing, simulated.
+
+The public API mirrors the paper's operator surface:
+
+>>> from repro import ControlPlane, TestConfig
+>>> cp = ControlPlane()
+>>> tester = cp.deploy(TestConfig(cc_algorithm="dctcp", n_test_ports=2))
+>>> cp.wire_loopback_fabric()           # the testbed's intermediate switch
+>>> cp.start_flows(size_packets=200, pattern="pairs")
+>>> cp.run(duration_ps=10**9)           # 1 ms
+>>> tester.fct.stats().count >= 1
+True
+
+Subpackages: ``sim`` (event engine), ``net`` (links/switches/queues),
+``cc`` (CC algorithm modules), ``pswitch`` (programmable-switch model),
+``fpga`` (FPGA-NIC model), ``core`` (the tester + control plane),
+``reference`` (ns-3-style and ConnectX-style oracles), ``baselines``
+(alternative tester architectures), ``workload``, ``fluid``, ``measure``.
+"""
+
+from repro.core import (
+    ControlPlane,
+    MarlinTester,
+    TestConfig,
+    amplification_report,
+    device_characteristics_table,
+    max_generated_rate_bps,
+    tester_requirements_table,
+)
+from repro.cc import (
+    CCAlgorithm,
+    available as available_cc,
+    create as create_cc,
+    register as register_cc,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlPlane",
+    "MarlinTester",
+    "TestConfig",
+    "Simulator",
+    "CCAlgorithm",
+    "available_cc",
+    "create_cc",
+    "register_cc",
+    "amplification_report",
+    "device_characteristics_table",
+    "max_generated_rate_bps",
+    "tester_requirements_table",
+    "__version__",
+]

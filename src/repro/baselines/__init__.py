@@ -1,0 +1,20 @@
+"""Alternative tester architectures (paper Table 1).
+
+Quantitative models of the tester classes Marlin is compared against:
+software/DPDK testers (CPU-bound), FPGA-only testers (interface-bound),
+and commercial black-box testers (no custom CC).  The Table 1/Table 2
+benches evaluate these models against the paper's requirements.
+"""
+
+from repro.baselines.software_tester import SoftwareTesterModel
+from repro.baselines.fpga_tester import FpgaTesterModel
+from repro.baselines.commercial_tester import CommercialTesterModel
+from repro.baselines.pswitch_tester import FixedRateStream, PswitchTester
+
+__all__ = [
+    "SoftwareTesterModel",
+    "FpgaTesterModel",
+    "CommercialTesterModel",
+    "FixedRateStream",
+    "PswitchTester",
+]

@@ -1,0 +1,36 @@
+"""A commercial black-box tester model (paper Section 2.2).
+
+Spirent/Keysight-class devices cover L2-L7 but are closed: no custom CC,
+and L4+ test modules do not reach Tbps in a single device.  The paper
+also cites the economics: a dual-port 100 Gbps traffic-generation module
+costs over $100,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import RATE_100G, TBPS
+
+
+@dataclass(frozen=True)
+class CommercialTesterModel:
+    """A closed L4-7 tester chassis."""
+
+    #: Per-module throughput for stateful L4+ testing.
+    l4_module_rate_bps: int = 2 * RATE_100G
+    modules_per_chassis: int = 4
+    supports_custom_cc: bool = False
+    supports_cc_traffic: bool = True
+    module_cost_usd: int = 100_000
+
+    @property
+    def max_l4_throughput_bps(self) -> int:
+        return self.l4_module_rate_bps * self.modules_per_chassis
+
+    def meets_rate(self, rate_bps: float) -> bool:
+        return self.max_l4_throughput_bps >= rate_bps
+
+    @property
+    def reaches_tbps(self) -> bool:
+        return self.max_l4_throughput_bps >= TBPS

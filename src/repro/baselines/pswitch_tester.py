@@ -1,0 +1,157 @@
+"""A programmable-switch-only tester (Norma/HyperTester/IMap class).
+
+These testers (paper Section 2.2) achieve Tbps-scale configurable
+traffic generation but "do not simulate CC algorithms or generate
+traffic with CC behaviors" — they blast at a configured rate regardless
+of congestion feedback.  This model makes the consequence measurable:
+run a fixed-rate tester and a Marlin CC tester into the same bottleneck
+and compare loss and delivered goodput (the motivation bench).
+
+Implementation: a Device that emits fixed-size DATA packets at a
+configured rate per port, counts returned ACKs, and ignores ECN — the
+data-plane capabilities a P4-only tester actually has.
+"""
+
+from __future__ import annotations
+
+from repro.net.device import Device, Port
+from repro.net.packet import ECT, Packet
+from repro.pswitch.packets import PTYPE_ACK, PTYPE_DATA
+from repro.sim.engine import Simulator
+from repro.units import RATE_100G, SECOND, wire_bits
+
+
+class FixedRateStream:
+    """One port's open-loop packet stream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        *,
+        stream_id: int,
+        src_addr: int,
+        dst_addr: int,
+        rate_bps: float,
+        frame_bytes: int,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.port = port
+        self.stream_id = stream_id
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+        self.frame_bytes = frame_bytes
+        self.interval_ps = int(wire_bits(frame_bytes) * SECOND / rate_bps)
+        self.psn = 0
+        self.running = False
+        self.sent_packets = 0
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.sim.call_now(self._emit)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _emit(self) -> None:
+        if not self.running:
+            return
+        packet = Packet(
+            PTYPE_DATA,
+            self.src_addr,
+            self.dst_addr,
+            self.frame_bytes,
+            flow_id=self.stream_id,
+            psn=self.psn,
+            ecn=ECT,
+            created_ps=self.sim.now,
+            meta={"tx_tstamp_ps": self.sim.now},
+        )
+        self.psn += 1
+        self.sent_packets += 1
+        self.port.send(packet)
+        self.sim.after(self.interval_ps, self._emit)
+
+
+class PswitchTester(Device):
+    """Open-loop, CC-less tester: fixed-rate streams + ACK counting.
+
+    Received DATA is acknowledged (so a CC tester on the other side of a
+    comparison still works), but returning ACKs and their ECN echoes are
+    only *counted* — the streams never slow down.  That is exactly the
+    R1 failure Table 1 assigns this tester class.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        *,
+        port_rate_bps: int = RATE_100G,
+        name: str = "pswitch-tester",
+    ):
+        super().__init__(sim, name)
+        for _ in range(n_ports):
+            self.add_port(rate_bps=port_rate_bps)
+        self.streams: list[FixedRateStream] = []
+        self.acks_received = 0
+        self.ecn_echoes_ignored = 0
+        self.data_received = 0
+        self._expected: dict[int, int] = {}
+
+    def add_stream(
+        self,
+        port_index: int,
+        *,
+        src_addr: int,
+        dst_addr: int,
+        rate_bps: float,
+        frame_bytes: int = 1024,
+    ) -> FixedRateStream:
+        stream = FixedRateStream(
+            self.sim,
+            self.ports[port_index],
+            stream_id=len(self.streams) + 1,
+            src_addr=src_addr,
+            dst_addr=dst_addr,
+            rate_bps=rate_bps,
+            frame_bytes=frame_bytes,
+        )
+        self.streams.append(stream)
+        return stream
+
+    def start_all(self) -> None:
+        for stream in self.streams:
+            stream.start()
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        if packet.ptype == PTYPE_DATA:
+            # Minimal receiver: cumulative ACK, no OOO handling.
+            self.data_received += 1
+            expected = self._expected.get(packet.flow_id, 0)
+            if packet.psn == expected:
+                self._expected[packet.flow_id] = expected + 1
+            ack = Packet(
+                PTYPE_ACK,
+                packet.dst,
+                packet.src,
+                64,
+                flow_id=packet.flow_id,
+                psn=self._expected.get(packet.flow_id, 0),
+                ecn_echo=packet.ce_marked,
+                created_ps=self.sim.now,
+            )
+            port.send(ack)
+        elif packet.ptype == PTYPE_ACK:
+            # The defining limitation: feedback is measured, never obeyed.
+            self.acks_received += 1
+            if packet.ecn_echo:
+                self.ecn_echoes_ignored += 1
+
+    @property
+    def total_sent(self) -> int:
+        return sum(stream.sent_packets for stream in self.streams)

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the control-plane workflow without writing Python:
+
+* ``repro run``            — deploy a tester, run a traffic pattern,
+  print measurements, optionally export CSV/JSON artifacts;
+* ``repro amplification``  — the Section 3.3 arithmetic for an MTU;
+* ``repro capabilities``   — the Table 1 / Table 2 matrices;
+* ``repro resources``      — Table 4 estimates for a CC algorithm;
+* ``repro algorithms``     — registered CC algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import repro.cc as cc
+from repro.core import (
+    ControlPlane,
+    TestConfig,
+    amplification_report,
+    device_characteristics_table,
+    tester_requirements_table,
+)
+from repro.fpga.hls import algorithm_cycles
+from repro.fpga.resources import estimate_resources
+from repro.fpga.timers import FrequencyControl
+from repro.measure.export import counters_to_json, fct_to_csv, throughput_to_csv
+from repro.units import MS, US, format_rate
+
+
+def _yesno(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    print("registered CC algorithms:")
+    for name in cc.available():
+        algorithm = cc.create(name)
+        cycles = algorithm_cycles(algorithm)
+        print(f"  {name:10s} mode={algorithm.mode.value:7s} fast path={cycles} cycles")
+    return 0
+
+
+def cmd_amplification(args: argparse.Namespace) -> int:
+    report = amplification_report(args.mtu)
+    print(f"MTU {report.mtu_bytes} B on {format_rate(report.port_rate_bps)} ports:")
+    print(f"  SCHE rate            : {report.sche_pps / 1e6:.1f} Mpps")
+    print(f"  DATA rate per port   : {report.data_pps_per_port / 1e6:.3f} Mpps")
+    print(f"  amplification factor : {report.amplification_factor}")
+    print(f"  ideal generated rate : {format_rate(report.ideal_rate_bps)}")
+    print(f"  one-pipeline rate    : {format_rate(report.pipeline_rate_bps)} "
+          f"({report.test_ports_in_pipeline} test ports)")
+    return 0
+
+
+def cmd_capabilities(args: argparse.Namespace) -> int:
+    print("Table 1 — tester classes vs requirements (R1 CC / R2 custom / R3 Tbps):")
+    for row in tester_requirements_table():
+        print(f"  {row.tester:22s} {_yesno(row.r1_cc_traffic):3s} "
+              f"{_yesno(row.r2_custom_cc):3s} {_yesno(row.r3_tbps):3s}  {row.note}")
+    print("\nTable 2 — devices (programmability / frequency / throughput):")
+    for row in device_characteristics_table():
+        print(f"  {row.device:22s} {_yesno(row.programmability):3s} "
+              f"{_yesno(row.frequency):3s} {_yesno(row.throughput):3s}  {row.note}")
+    return 0
+
+
+def cmd_resources(args: argparse.Namespace) -> int:
+    algorithm = cc.create(args.algorithm)
+    report = estimate_resources(algorithm, n_flows=args.flows)
+    control = FrequencyControl(args.mtu, 12)
+    problems = control.validate(report.cycles)
+    print(f"{args.algorithm} at {args.flows} flows, MTU {args.mtu}:")
+    print(f"  fast path        : {report.cycles} cycles "
+          f"(budget {control.max_rmw_cycles})")
+    print(f"  per-flow state   : {report.state_bytes_per_flow} B")
+    print(f"  BRAM             : {report.bram_pct:.1f}%")
+    print(f"  CC module LUT/FF : {report.cc_lut_pct:.1f}% / {report.cc_ff_pct:.1f}%")
+    print(f"  frequency check  : {'; '.join(problems) if problems else 'safe'}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.config is not None:
+        import json
+
+        payload = json.loads(Path(args.config).read_text())
+        config = TestConfig.from_dict(payload)
+    else:
+        config = TestConfig(
+            cc_algorithm=args.algorithm,
+            n_test_ports=args.ports,
+            flows_per_port=args.flows_per_port,
+            template_bytes=args.mtu,
+            int_enabled=args.int_enabled,
+            trace_cc=args.trace,
+        )
+    cp = ControlPlane()
+    tester = cp.deploy(config)
+    cp.wire_loopback_fabric()
+    sampler = tester.enable_rate_sampling(period_ps=500 * US)
+    if args.workload == "fixed":
+        cp.start_flows(size_packets=args.size_packets, pattern=args.pattern)
+    else:
+        _start_closed_loop(args, tester)
+    cp.run(duration_ps=int(args.duration_ms * MS))
+
+    counters = cp.read_measurements()
+    print(f"ran {args.algorithm} for {args.duration_ms} ms "
+          f"({args.pattern}, {tester.n_test_ports} ports)")
+    print(f"  flows completed : {counters['fpga.flows_completed']}")
+    print(f"  DATA generated  : {counters['switch.data_generated']}")
+    print(f"  false losses    : {counters['switch.sche_dropped']}")
+    print(f"  RMW conflicts   : {counters['fpga.rmw_conflicts']}")
+    if len(tester.fct):
+        stats = tester.fct.stats()
+        print(f"  FCT mean/p99    : {stats.mean_us:.1f} / {stats.p99_us:.1f} us")
+    last = sampler.samples[-1].rates_bps if sampler.samples else {}
+    flow_rates = [v for k, v in last.items() if k.startswith("flow")]
+    if flow_rates:
+        print(f"  last-window rate: {format_rate(sum(flow_rates))} over "
+              f"{len(flow_rates)} active flows")
+
+    if args.export_dir is not None:
+        out = Path(args.export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        print("exported:")
+        print(f"  {fct_to_csv(tester.fct, out / 'fct.csv')}")
+        print(f"  {throughput_to_csv(sampler, out / 'throughput.csv')}")
+        print(f"  {counters_to_json(counters, out / 'counters.json')}")
+    return 0
+
+
+def _start_closed_loop(args: argparse.Namespace, tester) -> None:
+    """Closed-loop generation from a named traffic model (Section 7.5)."""
+    import numpy as np
+
+    from repro.workload import ClosedLoopGenerator, FlowSlot, hadoop, websearch
+    from repro.workload.distributions import EmpiricalCdf
+
+    base = websearch() if args.workload == "websearch" else hadoop()
+    if args.size_scale != 1:
+        base = EmpiricalCdf(
+            tuple(
+                (max(int(size) // args.size_scale, 1), prob)
+                for size, prob in zip(base.sizes, base.probs)
+            )
+        )
+    n = tester.n_test_ports
+    if n % 2 != 0:
+        raise SystemExit("closed-loop workloads need an even port count")
+    slots = [
+        FlowSlot(src, src + n // 2)
+        for src in range(n // 2)
+        for _ in range(args.flows_per_port)
+    ]
+    generator = ClosedLoopGenerator(
+        tester, base, slots, rng=np.random.default_rng(0)
+    )
+    generator.start()
+    # Keep a reference alive for the duration of the run.
+    tester._cli_generator = generator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Marlin-reproduction control plane CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list registered CC algorithms")
+
+    p_amp = sub.add_parser("amplification", help="Section 3.3 arithmetic")
+    p_amp.add_argument("--mtu", type=int, default=1024)
+
+    sub.add_parser("capabilities", help="Tables 1 and 2")
+
+    p_res = sub.add_parser("resources", help="Table 4 estimates")
+    p_res.add_argument("--algorithm", default="dctcp")
+    p_res.add_argument("--flows", type=int, default=65_536)
+    p_res.add_argument("--mtu", type=int, default=1024)
+
+    p_run = sub.add_parser("run", help="deploy and run a test")
+    p_run.add_argument("--algorithm", default="dctcp")
+    p_run.add_argument("--ports", type=int, default=2)
+    p_run.add_argument("--flows-per-port", type=int, default=1)
+    p_run.add_argument("--mtu", type=int, default=1024)
+    p_run.add_argument("--pattern", choices=("pairs", "fan_in"), default="pairs")
+    p_run.add_argument(
+        "--workload",
+        choices=("fixed", "websearch", "hadoop"),
+        default="fixed",
+        help="fixed sizes, or a closed-loop traffic model (pairs pattern)",
+    )
+    p_run.add_argument(
+        "--size-scale",
+        type=int,
+        default=1,
+        help="divide workload flow sizes by this factor (scaled runs)",
+    )
+    p_run.add_argument("--size-packets", type=int, default=5000)
+    p_run.add_argument("--duration-ms", type=float, default=5.0)
+    p_run.add_argument("--int-enabled", action="store_true")
+    p_run.add_argument("--trace", action="store_true")
+    p_run.add_argument("--export-dir", default=None)
+    p_run.add_argument(
+        "--config",
+        default=None,
+        help="JSON TestConfig file (overrides the individual options)",
+    )
+    return parser
+
+
+HANDLERS = {
+    "algorithms": cmd_algorithms,
+    "amplification": cmd_amplification,
+    "capabilities": cmd_capabilities,
+    "resources": cmd_resources,
+    "run": cmd_run,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Throughput-amplification arithmetic (paper Sections 3.3 and 4.3).
+
+The FPGA sends SCHE packets at the 64 B line rate (148.8 Mpps on
+100 Gbps); each SCHE makes the switch emit one template-sized DATA packet
+on some test port, and a single port emits DATA at the template's line
+rate (11.97 Mpps at MTU 1024, 8.127 Mpps at 1518).  The amplification
+factor is therefore ``floor(sche_pps / data_pps)`` ports' worth of
+traffic: 12 ports = 1.2 Tbps at MTU 1024, 18 ports = 1.8 Tbps at 1518 in
+the unconstrained ideal — but one Tofino pipeline holds 16 ports, three
+of which Marlin reserves, so the pipeline caps the real figure at
+13 x 100 Gbps = 1.3 Tbps for any MTU above 1072 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pswitch.port_allocation import allocate_ports, amplification_factor
+from repro.units import MIN_FRAME_BYTES, RATE_100G, line_rate_pps
+
+
+@dataclass(frozen=True)
+class AmplificationReport:
+    """Every figure in the Section 3.3 arithmetic, for one MTU."""
+
+    mtu_bytes: int
+    port_rate_bps: int
+    sche_pps: float
+    data_pps_per_port: float
+    amplification_factor: int
+    #: Ideal generated rate ignoring the pipeline's port budget.
+    ideal_rate_bps: int
+    #: Rate achievable within one pipeline after reserving control ports.
+    pipeline_rate_bps: int
+    test_ports_in_pipeline: int
+
+
+def max_generated_rate_bps(
+    mtu_bytes: int, *, port_rate_bps: int = RATE_100G, pipeline_limited: bool = True
+) -> int:
+    """Peak DATA rate one FPGA port can drive, optionally pipeline-capped."""
+    factor = amplification_factor(mtu_bytes, port_rate_bps)
+    if pipeline_limited:
+        allocation = allocate_ports(mtu_bytes, port_rate_bps=port_rate_bps)
+        return allocation.data_throughput_bps
+    return factor * port_rate_bps
+
+
+def amplification_report(
+    mtu_bytes: int, *, port_rate_bps: int = RATE_100G
+) -> AmplificationReport:
+    """Compute the full amplification breakdown for one MTU."""
+    factor = amplification_factor(mtu_bytes, port_rate_bps)
+    allocation = allocate_ports(mtu_bytes, port_rate_bps=port_rate_bps)
+    return AmplificationReport(
+        mtu_bytes=mtu_bytes,
+        port_rate_bps=port_rate_bps,
+        sche_pps=line_rate_pps(MIN_FRAME_BYTES, port_rate_bps),
+        data_pps_per_port=line_rate_pps(mtu_bytes, port_rate_bps),
+        amplification_factor=factor,
+        ideal_rate_bps=factor * port_rate_bps,
+        pipeline_rate_bps=allocation.data_throughput_bps,
+        test_ports_in_pipeline=allocation.test_ports,
+    )

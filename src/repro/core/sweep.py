@@ -1,0 +1,145 @@
+"""Operator sweep utilities.
+
+The paper's use case (Section 1): operators "validate the effectiveness
+of the selected CC algorithms and parameters through high-throughput
+traffic".  These helpers automate the two standard sweeps:
+
+* :func:`max_lossless_rate_bps` — binary-search the highest fixed
+  offered load a path sustains without loss (classic RFC 2544-style
+  throughput testing, using the CC-less baseline tester);
+* :func:`cc_parameter_sweep` — run one congestion scenario across a
+  grid of CC parameter settings and report throughput/fairness/queue
+  metrics for each (the "find the optimal configuration" loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.baselines.pswitch_tester import PswitchTester
+from repro.core.config import TestConfig
+from repro.core.control_plane import ControlPlane
+from repro.errors import ConfigError
+from repro.measure.fairness import jain_index
+from repro.net.switch import NetworkSwitch
+from repro.net.topology import Topology
+from repro.sim import Simulator
+from repro.units import GBPS, MS, RATE_100G, US
+
+
+def max_lossless_rate_bps(
+    *,
+    bottleneck_rate_bps: int = RATE_100G,
+    queue_capacity_bytes: int = 128 * 1024,
+    frame_bytes: int = 1024,
+    duration_ps: int = 2 * MS,
+    tolerance_bps: float = 1 * GBPS,
+) -> float:
+    """Highest constant offered load with zero loss through one port.
+
+    Binary search over the open-loop stream rate; each probe runs a
+    fresh simulation of a single fixed-rate stream through a bottleneck
+    switch port and checks the drop counters.  The answer exceeds the
+    bottleneck line rate by at most ``queue_capacity / duration`` (the
+    excess a queue can absorb over a finite probe) — keep the default
+    small queue/long probe ratio for sharp results.
+    """
+    if tolerance_bps <= 0:
+        raise ConfigError("tolerance must be positive")
+
+    def lossless(rate_bps: float) -> bool:
+        sim = Simulator()
+        topo = Topology(sim)
+        fabric = NetworkSwitch(sim, "fabric")
+        topo.add_device(fabric)
+        # Tester ports run faster than the bottleneck so offered loads
+        # above the bottleneck actually reach it.
+        tester = PswitchTester(sim, 2, port_rate_bps=4 * bottleneck_rate_bps)
+        for index, port in enumerate(tester.ports):
+            fabric_port = fabric.add_ecn_port(
+                rate_bps=bottleneck_rate_bps,
+                capacity_bytes=queue_capacity_bytes,
+            )
+            topo.connect(port, fabric_port)
+            fabric.set_route(index + 1, fabric_port)
+        stream = tester.add_stream(
+            0, src_addr=1, dst_addr=2, rate_bps=rate_bps, frame_bytes=frame_bytes
+        )
+        stream.start()
+        sim.run(until_ps=duration_ps)
+        return all(p.queue.stats.dropped_packets == 0 for p in fabric.ports)
+
+    low, high = 0.0, float(2 * bottleneck_rate_bps)
+    if lossless(high):
+        return high
+    while high - low > tolerance_bps:
+        mid = (low + high) / 2.0
+        if lossless(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One CC-parameter configuration's outcome."""
+
+    params: dict[str, Any]
+    throughput_bps: float
+    fairness: float
+    peak_queue_bytes: int
+    flows_completed: int
+
+
+def cc_parameter_sweep(
+    algorithm: str,
+    param_grid: list[dict[str, Any]],
+    *,
+    n_senders: int = 3,
+    size_packets: int = 10**9,
+    duration_ps: int = 6 * MS,
+    ecn_threshold_bytes: int = 84_000,
+    base_params: Optional[dict[str, Any]] = None,
+) -> list[SweepPoint]:
+    """Run a fan-in congestion scenario for each parameter setting.
+
+    Each grid entry is merged over ``base_params`` and passed to the
+    algorithm constructor; results come back in grid order.
+    """
+    if not param_grid:
+        raise ConfigError("param_grid must contain at least one setting")
+    results: list[SweepPoint] = []
+    for grid_params in param_grid:
+        params = dict(base_params or {})
+        params.update(grid_params)
+        cp = ControlPlane()
+        tester = cp.deploy(
+            TestConfig(
+                cc_algorithm=algorithm,
+                n_test_ports=n_senders + 1,
+                cc_params=params,
+            )
+        )
+        cp.wire_loopback_fabric(ecn_threshold_bytes=ecn_threshold_bytes)
+        sampler = tester.enable_rate_sampling(period_ps=500 * US)
+        cp.start_flows(size_packets=size_packets, pattern="fan_in")
+        cp.run(duration_ps=duration_ps)
+        rates = [
+            rate
+            for name, rate in sampler.samples[-1].rates_bps.items()
+            if name.startswith("flow")
+        ]
+        assert cp.fabric is not None
+        bottleneck = cp.fabric.ports[n_senders]
+        results.append(
+            SweepPoint(
+                params=grid_params,
+                throughput_bps=sum(rates),
+                fairness=jain_index(rates) if rates else 1.0,
+                peak_queue_bytes=bottleneck.queue.stats.max_backlog_bytes,
+                flows_completed=len(tester.fct),
+            )
+        )
+    return results

@@ -1,0 +1,44 @@
+"""The ideal FCT reference (paper Section 7.5, Figure 10).
+
+"As a reference, we calculated the ideal FCT under this scheduling,
+where each flow evenly shares the bandwidth at all times."
+
+Under closed-loop generation the number of concurrent flows per port is
+constant (a completing flow is immediately replaced), so the ideal
+processor-sharing rate of every flow is exactly ``capacity / n`` at all
+times and the ideal FCT is ``size * n / capacity`` — the size
+distribution transformed by a constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import BITS_PER_BYTE, MICROSECOND, SECOND
+
+
+def ideal_fct_ps(size_bytes: int, n_flows_sharing: int, capacity_bps: float) -> int:
+    """Ideal (equal-share) completion time for one flow, picoseconds."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    if n_flows_sharing <= 0:
+        raise ValueError(f"flow count must be positive, got {n_flows_sharing}")
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_bps}")
+    bits = size_bytes * BITS_PER_BYTE
+    return int(bits * n_flows_sharing * SECOND / capacity_bps)
+
+
+def ideal_fct_series_us(
+    sizes_bytes: Sequence[int] | np.ndarray,
+    n_flows_sharing: int,
+    capacity_bps: float,
+) -> np.ndarray:
+    """Vectorized ideal FCTs in microseconds for a batch of flow sizes."""
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if np.any(sizes <= 0):
+        raise ValueError("all sizes must be positive")
+    fct_seconds = sizes * BITS_PER_BYTE * n_flows_sharing / capacity_bps
+    return fct_seconds * (SECOND / MICROSECOND)

@@ -1,0 +1,79 @@
+"""Per-flow CC parameter storage with RMW-conflict detection.
+
+Section 5.1: CC parameters live in multiple BRAMs, addressed by flow ID,
+each writable by exactly one of {CC algorithm module, Slow Path,
+scheduler} and read-only to the other two (Simple Dual-Port RAM).
+
+Section 5.3 (Challenge 3): a read-modify-write on a flow's parameters
+occupies the pipeline for the CC module's cycle count.  If a second event
+for the *same flow* starts its RMW before the first completes, the write
+of the first is lost — a read-write conflict.  :class:`FlowBram` tracks
+per-flow RMW windows and counts (or, in strict mode, raises on)
+conflicts; the RX timers exist to make the count stay zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RMWConflictError
+
+
+class FlowBram:
+    """Flow-indexed state store with RMW-window conflict accounting."""
+
+    def __init__(self, *, strict: bool = False) -> None:
+        self.strict = strict
+        self._store: dict[int, Any] = {}
+        #: flow_id -> completion time (ps) of the in-flight RMW.
+        self._rmw_end_ps: dict[int, int] = {}
+        self.rmw_operations = 0
+        self.conflicts = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- plain storage --------------------------------------------------------
+
+    def read(self, flow_id: int) -> Any:
+        self.reads += 1
+        return self._store.get(flow_id)
+
+    def write(self, flow_id: int, value: Any) -> None:
+        self.writes += 1
+        self._store[flow_id] = value
+
+    def delete(self, flow_id: int) -> None:
+        self._store.pop(flow_id, None)
+        self._rmw_end_ps.pop(flow_id, None)
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- RMW window tracking ----------------------------------------------------
+
+    def busy_until(self, flow_id: int) -> int:
+        """Completion time of the flow's in-flight RMW (0 if idle)."""
+        return self._rmw_end_ps.get(flow_id, 0)
+
+    def begin_rmw(self, flow_id: int, now_ps: int, duration_ps: int) -> bool:
+        """Record an RMW starting at ``now_ps`` lasting ``duration_ps``.
+
+        Returns True when the operation conflicts with an in-flight RMW on
+        the same flow (and raises in strict mode).  Distinct flows never
+        conflict — the BRAM is pipelined across addresses.
+        """
+        self.rmw_operations += 1
+        end = self._rmw_end_ps.get(flow_id)
+        conflict = end is not None and now_ps < end
+        if conflict:
+            self.conflicts += 1
+            if self.strict:
+                raise RMWConflictError(
+                    f"read-write conflict on flow {flow_id}: RMW at {now_ps} ps "
+                    f"overlaps one completing at {end} ps"
+                )
+        self._rmw_end_ps[flow_id] = now_ps + duration_ps
+        return conflict

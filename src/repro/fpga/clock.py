@@ -1,0 +1,26 @@
+"""322 MHz clock-cycle accounting for the FPGA NIC.
+
+All FPGA modules operate at the OpenNIC shell's 322 MHz (Section 6), so
+one cycle is 3,105 ps.  The helpers here convert between cycles and the
+global picosecond clock; the paper's frequency arguments (e.g. "RMW
+operations are allowed to take a maximum of 40 clock cycles" at MTU 1518)
+fall out of these conversions in :mod:`repro.fpga.timers`.
+"""
+
+from __future__ import annotations
+
+from repro.units import FPGA_CYCLE_PS
+
+
+def cycles_to_ps(cycles: int) -> int:
+    """Duration of ``cycles`` FPGA clock cycles in picoseconds."""
+    if cycles < 0:
+        raise ValueError(f"cycles must be >= 0, got {cycles}")
+    return cycles * FPGA_CYCLE_PS
+
+
+def ps_to_cycles(duration_ps: int) -> int:
+    """Whole FPGA clock cycles that fit in ``duration_ps`` (floor)."""
+    if duration_ps < 0:
+        raise ValueError(f"duration must be >= 0, got {duration_ps}")
+    return duration_ps // FPGA_CYCLE_PS

@@ -1,0 +1,69 @@
+"""Hardware FIFOs: RX FIFOs, scheduling FIFOs, and the priority FIFO.
+
+All are bounded; pushing into a full FIFO drops the entry and counts it.
+For RX FIFOs an overflow means lost CC feedback ("incorrect execution of
+the CC algorithm", Section 5.3); for scheduling FIFOs the uniqueness
+invariant of Section 5.2 (at most one event per flow) guarantees overflow
+cannot happen when capacity >= flows per port — a property the tests
+check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class FifoStats:
+    pushed: int = 0
+    popped: int = 0
+    dropped: int = 0
+    max_depth: int = 0
+
+
+class Fifo(Generic[T]):
+    """A bounded FIFO with drop-on-full semantics and counters."""
+
+    def __init__(self, capacity: int, *, name: str = "fifo") -> None:
+        if capacity <= 0:
+            raise ValueError(f"fifo capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._queue: deque[T] = deque()
+        self.stats = FifoStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def push(self, item: T) -> bool:
+        """Append ``item``; returns False (counting a drop) when full."""
+        if len(self._queue) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._queue.append(item)
+        self.stats.pushed += 1
+        if len(self._queue) > self.stats.max_depth:
+            self.stats.max_depth = len(self._queue)
+        return True
+
+    def pop(self) -> Optional[T]:
+        if not self._queue:
+            return None
+        self.stats.popped += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The head entry without removing it."""
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,70 @@
+"""Per-flow sender state held in the FPGA's BRAMs.
+
+One :class:`FlowState` aggregates the three ownership domains of
+Section 5.1: intrinsic transport state (``una``/``nxt``, owned by the
+framework/scheduler), the CC module's 64 B customized block (``cust``),
+and the slow-path block (``slow``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class FlowState:
+    """Sender-side state for one test flow."""
+
+    flow_id: int
+    #: Switch test port (and scheduler) this flow is pinned to.
+    port_index: int
+    src_addr: int
+    dst_addr: int
+    #: Flow length in packets; every DATA carries one PSN.
+    size_packets: int
+    frame_bytes: int
+    #: Congestion window (packets) or rate (bps), per algorithm mode.
+    cwnd_or_rate: float
+    #: PSN of the next unacknowledged packet (Table 3 ``una``).
+    una: int = 0
+    #: PSN of the next packet to be sent (Table 3 ``nxt``).
+    nxt: int = 0
+    #: True while a scheduling event for this flow is in the scheduling
+    #: FIFO (the Section 5.2 uniqueness invariant).
+    scheduled: bool = False
+    started: bool = False
+    finished: bool = False
+    start_ps: int = -1
+    finish_ps: int = -1
+    #: Rate-pacing: earliest time the next packet may be scheduled.
+    next_send_ps: int = 0
+    #: Bytes sent since the last BYTE_COUNTER event (DCQCN's B counter).
+    counter_bytes: int = 0
+    data_sent: int = 0
+    rtx_sent: int = 0
+    #: CC module customized variables (algorithm-defined dataclass).
+    cust: Any = None
+    #: Slow-path variables (algorithm-defined dataclass or None).
+    slow: Any = None
+
+    @property
+    def fct_ps(self) -> int:
+        """Flow completion time, or -1 while incomplete."""
+        if self.finish_ps < 0 or self.start_ps < 0:
+            return -1
+        return self.finish_ps - self.start_ps
+
+    @property
+    def complete(self) -> bool:
+        return self.una >= self.size_packets
+
+    def sendable_window(self) -> bool:
+        """Window-mode eligibility: data left and window open."""
+        return self.nxt < self.size_packets and self.nxt < self.una + max(
+            int(self.cwnd_or_rate), 1
+        )
+
+    def sendable_rate(self) -> bool:
+        """Rate-mode eligibility ignoring pacing time (data left)."""
+        return self.nxt < self.size_packets

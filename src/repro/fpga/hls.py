@@ -1,0 +1,52 @@
+"""HLS cost model: clock cycles from declared arithmetic (Table 4).
+
+Vivado HLS pipelines straight-line C++ into the 322 MHz fabric; what
+bounds a CC module's read-modify-write initiation interval is the longest
+arithmetic dependency chain.  This model prices each operation class and
+reproduces the paper's measured cycle counts:
+
+===========  =====================================  ==============
+algorithm    critical chain                          cycles (paper)
+===========  =====================================  ==============
+Reno         adds/compares/shifts only                2
+DCTCP        one 16-bit div + two 32-bit muls        24
+DCQCN        two 32-bit muls                          6
+Cubic        LUT cube root (Section 8)              ~100
+===========  =====================================  ==============
+
+Costs: a 16-bit divider is 18 cycles, a 32-bit divider 26, a 32-bit
+multiplier 2, the cube-root LUT (range reduction + BRAM lookup +
+interpolation) 90; simple ALU ops (add/sub/compare/shift) fuse four per
+cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cc.base import CCAlgorithm, OpCounts
+
+CYCLES_DIV16 = 18
+CYCLES_DIV32 = 26
+CYCLES_MUL32 = 2
+CYCLES_CBRT_LUT = 90
+#: Simple ALU operations fused per pipeline cycle.
+SIMPLE_OPS_PER_CYCLE = 4
+
+
+def estimate_cycles(ops: OpCounts) -> int:
+    """Clock cycles for a fast-path invocation with the given op counts."""
+    simple = ops.add_sub + ops.compare + ops.shift
+    cycles = (
+        ops.div16 * CYCLES_DIV16
+        + ops.div32 * CYCLES_DIV32
+        + ops.mul32 * CYCLES_MUL32
+        + ops.cube_root_lut * CYCLES_CBRT_LUT
+        + math.ceil(simple / SIMPLE_OPS_PER_CYCLE)
+    )
+    return max(cycles, 1)
+
+
+def algorithm_cycles(algorithm: CCAlgorithm) -> int:
+    """Cycle estimate for a CC algorithm's declared fast path."""
+    return estimate_cycles(algorithm.ops)

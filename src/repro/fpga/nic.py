@@ -1,0 +1,472 @@
+"""The assembled FPGA NIC (paper Section 5, Figure 4).
+
+Datapath for one INFO packet (Step A of Figure 4):
+
+1. the packet arrives on the 100 Gbps port and is parsed into a
+   reception event;
+2. the event joins the RX FIFO matching the switch test port it arrived
+   on; an RX timer drains each FIFO at the per-port DATA rate
+   (Section 5.3, ingress direction);
+3. the framework advances ``una`` and detects flow completion;
+4. the CC algorithm module runs under the Table 3 contract, charging its
+   HLS cycle cost against the flow's BRAM RMW window;
+5. outputs are applied: window/rate update (clamped), retransmissions to
+   the priority FIFO, go-back-N rewinds, timer arms, slow-path events,
+   log records;
+6. if the flow has become sendable and lacks a scheduling event, one is
+   enqueued — reactivating the flow (Section 5.2).
+
+Per-port schedulers emit SCHE packets (Step B/C); the shared egress port
+acts as the MUX and enforces the 64 B line rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCMode,
+    EventType,
+    Flags,
+    IntrinsicInput,
+    IntrinsicOutput,
+)
+from repro.errors import ConfigError
+from repro.fpga.bram import FlowBram
+from repro.fpga.cc_module import CCModuleRuntime
+from repro.fpga.clock import cycles_to_ps
+from repro.fpga.event_generator import EventGenerator
+from repro.fpga.fifos import Fifo
+from repro.fpga.flow import FlowState
+from repro.fpga.logger import QdmaLogger
+from repro.fpga.parser import InfoParser, ReceptionEvent
+from repro.fpga.scheduler import PortScheduler, RESCHEDULE_LOOP_CYCLES
+from repro.fpga.slow_path import SlowPathExecutor
+from repro.fpga.timers import FrequencyControl
+from repro.net.device import Device, Port
+from repro.net.packet import Packet
+from repro.pswitch.module_a import ReceiverLogic, ReceiverMode
+from repro.pswitch.packets import PTYPE_RDATA, make_sche
+from repro.sim.engine import Simulator
+from repro.units import RATE_100G, ROCE_MTU_BYTES
+
+
+@dataclass
+class FpgaNicConfig:
+    """Static NIC configuration deployed by the control plane."""
+
+    template_bytes: int = ROCE_MTU_BYTES
+    n_test_ports: int = 12
+    port_rate_bps: int = RATE_100G
+    rx_fifo_capacity: int = 8192
+    sched_fifo_capacity: int = 1 << 16
+    #: Record every window/rate change to the QDMA logger.
+    trace_cc: bool = False
+    #: Raise on BRAM RMW conflicts instead of counting them.
+    strict_bram: bool = False
+    #: Verify the Table 3 contract on every invocation (slower; tests).
+    check_contracts: bool = False
+    #: Override the RX timer period (0: match TX; see FrequencyControl).
+    rx_interval_override_ps: int = 0
+    #: Ablation: bypass RX timers and process INFO on arrival, exposing
+    #: the Section 5.3 read-write conflicts.
+    disable_rx_timer: bool = False
+    slow_path_cycles: int = 200
+    #: Record probed RTT samples (bounded) for latency analysis.
+    sample_rtt: bool = False
+    #: Cap on retained RTT samples (oldest dropped beyond this).
+    rtt_sample_capacity: int = 100_000
+    #: Figure 2 dashed path: run receiver logic here, fed by truncated
+    #: DATA (RDATA) over a dedicated second port.
+    receiver_on_fpga: bool = False
+    #: Receiver behaviour when hosted on the FPGA (None: TCP).
+    fpga_receiver_mode: Optional["ReceiverMode"] = None
+    cnp_interval_ps: int = 50_000_000
+
+
+class FpgaNic(Device):
+    """FPGA-NIC half of the tester."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        algorithm: CCAlgorithm,
+        config: Optional[FpgaNicConfig] = None,
+        *,
+        name: str = "fpga-nic",
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config if config is not None else FpgaNicConfig()
+        cfg = self.config
+        self.algorithm = algorithm
+        self.port: Port = self.add_port(rate_bps=cfg.port_rate_bps)
+        #: Second port + receiver logic for the Figure 2 dashed path.
+        self.receiver_port: Optional[Port] = None
+        self.fpga_receiver: Optional[ReceiverLogic] = None
+        if cfg.receiver_on_fpga:
+            self.receiver_port = self.add_port(rate_bps=cfg.port_rate_bps)
+            mode = (
+                cfg.fpga_receiver_mode
+                if cfg.fpga_receiver_mode is not None
+                else ReceiverMode.TCP
+            )
+            self.fpga_receiver = ReceiverLogic(
+                mode, cnp_interval_ps=cfg.cnp_interval_ps
+            )
+
+        self.frequency = FrequencyControl(
+            cfg.template_bytes,
+            cfg.n_test_ports,
+            cfg.port_rate_bps,
+            rx_interval_override_ps=cfg.rx_interval_override_ps,
+        )
+        self.bram = FlowBram(strict=cfg.strict_bram)
+        self.cc_runtime = CCModuleRuntime(
+            algorithm, self.bram, check_contracts=cfg.check_contracts
+        )
+        #: Section 5.3 safety analysis for this algorithm/MTU combination.
+        self.frequency_warnings = self.frequency.validate(self.cc_runtime.cycles)
+        if cycles_to_ps(RESCHEDULE_LOOP_CYCLES) > self.frequency.tx_interval_ps:
+            raise ConfigError(
+                "rescheduling loop latency exceeds the TX period; the "
+                "scheduling FIFO cannot sustain line rate"
+            )
+
+        self.parser = InfoParser()
+        self.rx_fifos: list[Fifo[ReceptionEvent]] = [
+            Fifo(cfg.rx_fifo_capacity, name=f"rx{i}") for i in range(cfg.n_test_ports)
+        ]
+        self._drain_pending = [False] * cfg.n_test_ports
+        self._next_drain_ps = [0] * cfg.n_test_ports
+
+        tx_interval = self.frequency.tx_interval_ps
+        # Section 8: CC modules whose RMW latency exceeds the per-packet
+        # budget get a per-flow PPS cap; multiple flows still fill the port.
+        reduction = self.frequency.pps_reduction_factor(self.cc_runtime.cycles)
+        min_spacing = reduction * tx_interval if reduction > 1 else 0
+        self.per_flow_pps_reduction = reduction
+        self.schedulers: list[PortScheduler] = [
+            PortScheduler(
+                sim,
+                i,
+                tx_interval,
+                algorithm.mode,
+                self._emit_sche,
+                on_bytes_sent=self._on_bytes_sent,
+                fifo_capacity=cfg.sched_fifo_capacity,
+                phase_ps=i * tx_interval // max(cfg.n_test_ports, 1),
+                min_flow_spacing_ps=min_spacing,
+            )
+            for i in range(cfg.n_test_ports)
+        ]
+
+        self.event_generator = EventGenerator(sim, self._on_timeout)
+        self.logger = QdmaLogger()
+        self.slow_path = SlowPathExecutor(
+            sim, cycles=cfg.slow_path_cycles, on_rate_update=self._on_slow_rate_update
+        )
+        self._byte_threshold = algorithm.byte_counter_bytes()
+
+        self.flows: dict[int, FlowState] = {}
+        self.completed_flows: list[FlowState] = []
+        self.completion_callbacks: list[Callable[[FlowState], None]] = []
+        self._next_flow_id = 1
+
+        self.infos_processed = 0
+        self.infos_for_unknown_flows = 0
+        self.rmw_stalls = 0
+        self.rx_timer_bypassed = cfg.disable_rx_timer
+        #: (flow_id, rtt_ps) samples when ``sample_rtt`` is enabled.
+        self.rtt_samples: deque[tuple[int, int]] = deque(
+            maxlen=cfg.rtt_sample_capacity
+        )
+
+    # -- flow management --------------------------------------------------------
+
+    def start_flow(
+        self,
+        *,
+        port_index: int,
+        src_addr: int,
+        dst_addr: int,
+        size_packets: int,
+        flow_id: Optional[int] = None,
+        start_at_ps: Optional[int] = None,
+    ) -> FlowState:
+        """Create a flow and schedule its first transmission."""
+        if not 0 <= port_index < self.config.n_test_ports:
+            raise ConfigError(
+                f"port_index {port_index} out of range "
+                f"[0, {self.config.n_test_ports})"
+            )
+        if size_packets <= 0:
+            raise ConfigError(f"flow size must be positive, got {size_packets}")
+        if flow_id is None:
+            flow_id = self._next_flow_id
+        if flow_id in self.flows:
+            raise ConfigError(f"flow id {flow_id} already exists")
+        self._next_flow_id = max(self._next_flow_id, flow_id + 1)
+        flow = FlowState(
+            flow_id=flow_id,
+            port_index=port_index,
+            src_addr=src_addr,
+            dst_addr=dst_addr,
+            size_packets=size_packets,
+            frame_bytes=self.config.template_bytes,
+            cwnd_or_rate=self.algorithm.initial_cwnd_or_rate(self.config.port_rate_bps),
+            cust=self.algorithm.initial_cust(),
+            slow=self.algorithm.initial_slow(),
+        )
+        self.flows[flow_id] = flow
+        self.bram.write(flow_id, flow)
+        when = self.sim.now if start_at_ps is None else start_at_ps
+        self.sim.at(when, self._activate_flow, flow)
+        return flow
+
+    def _activate_flow(self, flow: FlowState) -> None:
+        if flow.started or flow.finished:
+            return
+        flow.started = True
+        flow.start_ps = self.sim.now
+        flow.next_send_ps = self.sim.now
+        out = self.algorithm.on_flow_start(flow.cust, flow.slow, self.sim.now)
+        self._apply_output(flow, out)
+        self.schedulers[flow.port_index].enqueue_flow(flow)
+
+    def stop_flow(self, flow_id: int) -> None:
+        """Terminate a flow from the control plane (no FCT is recorded;
+        the paper's congestion test terminates long-lived flows this way)."""
+        flow = self.flows.get(flow_id)
+        if flow is None or flow.finished:
+            return
+        flow.finished = True
+        self.event_generator.forget_flow(flow_id)
+
+    def on_complete(self, callback: Callable[[FlowState], None]) -> None:
+        """Register a flow-completion callback (closed-loop workloads)."""
+        self.completion_callbacks.append(callback)
+
+    def flow(self, flow_id: int) -> FlowState:
+        try:
+            return self.flows[flow_id]
+        except KeyError:
+            raise ConfigError(f"unknown flow id {flow_id}") from None
+
+    # -- INFO ingress ------------------------------------------------------------
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        if packet.ptype == PTYPE_RDATA:
+            self._receive_rdata(packet)
+            return
+        event = self.parser.parse(packet, self.sim.now)
+        if event is None:
+            return
+        if self.config.disable_rx_timer:
+            # Ablation: no frequency control on the ingress path.
+            self._process_reception(event)
+            return
+        index = min(event.rx_port, len(self.rx_fifos) - 1)
+        if self.rx_fifos[index].push(event):
+            self._kick_drain(index)
+
+    def _receive_rdata(self, rdata: Packet) -> None:
+        """FPGA-hosted receiver logic (Figure 2 dashed path): process a
+        truncated DATA packet, return responses via the receiver port."""
+        if self.fpga_receiver is None or self.receiver_port is None:
+            return
+        for response in self.fpga_receiver.on_data(rdata, self.sim.now):
+            # Tell the switch which test port the response leaves from.
+            response.meta["egress_port"] = rdata.meta.get("rx_port", 0)
+            self.receiver_port.send(response)
+
+    def _kick_drain(self, index: int) -> None:
+        if self._drain_pending[index] or self.rx_fifos[index].empty:
+            return
+        self._drain_pending[index] = True
+        when = max(self.sim.now, self._next_drain_ps[index])
+        self.sim.at(when, self._drain, index)
+
+    def _drain(self, index: int) -> None:
+        self._drain_pending[index] = False
+        head = self.rx_fifos[index].peek()
+        if head is not None:
+            # Atomicity: if the head event's flow still has an RMW in
+            # flight, the pipeline stalls until it completes (Section 5.3's
+            # "packets will have to wait ... causing a drop in throughput";
+            # frequency control exists to make this never happen).
+            busy_until = self.bram.busy_until(head.flow_id)
+            if busy_until > self.sim.now:
+                self.rmw_stalls += 1
+                self._drain_pending[index] = True
+                self.sim.at(busy_until, self._drain, index)
+                return
+        self._next_drain_ps[index] = self.sim.now + self.frequency.rx_interval_ps
+        event = self.rx_fifos[index].pop()
+        if event is not None:
+            self._process_reception(event)
+        self._kick_drain(index)
+
+    # -- CC event processing --------------------------------------------------------
+
+    def _process_reception(self, event: ReceptionEvent) -> None:
+        flow = self.flows.get(event.flow_id)
+        if flow is None or flow.finished or not flow.started:
+            self.infos_for_unknown_flows += 1
+            return
+        self.infos_processed += 1
+        if self.config.sample_rtt and event.prb_rtt_ps >= 0:
+            self.rtt_samples.append((flow.flow_id, event.prb_rtt_ps))
+        if event.flags.ack and event.psn > flow.una:
+            flow.una = min(event.psn, flow.size_packets)
+        if flow.complete:
+            self._finish_flow(flow)
+            return
+        intr = IntrinsicInput(
+            evt_type=EventType.RX,
+            psn=event.psn,
+            cwnd_or_rate=flow.cwnd_or_rate,
+            una=flow.una,
+            nxt=flow.nxt,
+            flags=event.flags,
+            prb_rtt=event.prb_rtt_ps,
+            tstamp=self.sim.now,
+            int_path=event.int_path,
+        )
+        out = self.cc_runtime.invoke(flow.flow_id, intr, flow.cust, flow.slow)
+        self._apply_output(flow, out)
+        self._maybe_activate(flow)
+
+    def _on_timeout(self, flow_id: int, timer_id: int) -> None:
+        flow = self.flows.get(flow_id)
+        if flow is None or flow.finished or not flow.started:
+            return
+        intr = IntrinsicInput(
+            evt_type=EventType.TIMEOUT,
+            psn=-1,
+            cwnd_or_rate=flow.cwnd_or_rate,
+            una=flow.una,
+            nxt=flow.nxt,
+            flags=Flags(),
+            prb_rtt=-1,
+            tstamp=self.sim.now,
+            timer_id=timer_id,
+        )
+        out = self.cc_runtime.invoke(flow.flow_id, intr, flow.cust, flow.slow)
+        self._apply_output(flow, out)
+        self._maybe_activate(flow)
+
+    def _on_slow_rate_update(self, flow_id: int, value: float) -> None:
+        flow = self.flows.get(flow_id)
+        if flow is not None and not flow.finished:
+            flow.cwnd_or_rate = self._clamp(value)
+
+    def _on_bytes_sent(self, flow: FlowState) -> None:
+        if self._byte_threshold is None or flow.counter_bytes < self._byte_threshold:
+            return
+        flow.counter_bytes -= self._byte_threshold
+        intr = IntrinsicInput(
+            evt_type=EventType.BYTE_COUNTER,
+            psn=-1,
+            cwnd_or_rate=flow.cwnd_or_rate,
+            una=flow.una,
+            nxt=flow.nxt,
+            flags=Flags(),
+            prb_rtt=-1,
+            tstamp=self.sim.now,
+        )
+        out = self.cc_runtime.invoke(flow.flow_id, intr, flow.cust, flow.slow)
+        self._apply_output(flow, out)
+
+    def _apply_output(self, flow: FlowState, out: IntrinsicOutput) -> None:
+        if out.cwnd_or_rate is not None:
+            flow.cwnd_or_rate = self._clamp(out.cwnd_or_rate)
+            if self.config.trace_cc:
+                self.logger.log(
+                    self.sim.now,
+                    f"flow{flow.flow_id}",
+                    cwnd_or_rate=flow.cwnd_or_rate,
+                )
+        if out.rewind_to_una:
+            flow.nxt = flow.una
+        if out.rtx_psn >= 0:
+            self.schedulers[flow.port_index].enqueue_rtx(flow, out.rtx_psn)
+        for timer_id, duration_ps in out.rst_timers:
+            self.event_generator.arm(flow.flow_id, timer_id, duration_ps)
+        for timer_id in out.stop_timers:
+            self.event_generator.cancel(flow.flow_id, timer_id)
+        for slow_event in out.slow_path_events:
+            self.slow_path.submit(
+                self.algorithm, flow.flow_id, slow_event, flow.cust, flow.slow
+            )
+            if self.config.trace_cc and flow.slow is not None:
+                self._trace_slow_later(flow)
+        for record in out.log_content:
+            self.logger.log(self.sim.now, f"flow{flow.flow_id}.user", **record)
+
+    def _trace_slow_later(self, flow: FlowState) -> None:
+        def log_slow() -> None:
+            alpha = getattr(flow.slow, "alpha", None)
+            if alpha is not None:
+                self.logger.log(self.sim.now, f"flow{flow.flow_id}.slow", alpha=alpha)
+
+        self.sim.after(self.slow_path.latency_ps, log_slow)
+
+    def _clamp(self, value: float) -> float:
+        if self.algorithm.mode is CCMode.WINDOW:
+            return max(value, 1.0)
+        floor = self.algorithm.min_rate_bps(self.config.port_rate_bps)
+        return min(max(value, floor), float(self.config.port_rate_bps))
+
+    def _maybe_activate(self, flow: FlowState) -> None:
+        if flow.finished or flow.scheduled:
+            return
+        sendable = (
+            flow.sendable_window()
+            if self.algorithm.mode is CCMode.WINDOW
+            else flow.sendable_rate()
+        )
+        if sendable:
+            self.schedulers[flow.port_index].enqueue_flow(flow)
+
+    def _finish_flow(self, flow: FlowState) -> None:
+        flow.finished = True
+        flow.finish_ps = self.sim.now
+        self.event_generator.forget_flow(flow.flow_id)
+        self.completed_flows.append(flow)
+        for callback in self.completion_callbacks:
+            callback(flow)
+
+    # -- SCHE egress ----------------------------------------------------------------
+
+    def _emit_sche(self, flow: FlowState, psn: int, is_rtx: bool) -> None:
+        sche = make_sche(
+            flow.flow_id,
+            psn,
+            flow.port_index,
+            src_addr=flow.src_addr,
+            dst_addr=flow.dst_addr,
+            frame_bytes=flow.frame_bytes,
+            is_rtx=is_rtx,
+            created_ps=self.sim.now,
+        )
+        self.port.send(sche)
+
+    # -- control-plane readable state -------------------------------------------------
+
+    def read_counters(self) -> dict[str, int]:
+        return {
+            "infos_processed": self.infos_processed,
+            "infos_unknown_flow": self.infos_for_unknown_flows,
+            "rx_fifo_drops": sum(f.stats.dropped for f in self.rx_fifos),
+            "rmw_conflicts": self.bram.conflicts,
+            "rmw_stalls": self.rmw_stalls,
+            "timeouts_fired": self.event_generator.timeouts_fired,
+            "slow_path_events": self.slow_path.events_processed,
+            "slow_path_overruns": self.slow_path.overruns,
+            "sche_emitted": sum(s.sche_emitted for s in self.schedulers),
+            "rtx_emitted": sum(s.rtx_emitted for s in self.schedulers),
+            "flows_completed": len(self.completed_flows),
+        }

@@ -1,0 +1,61 @@
+"""The INFO parser (paper Section 5.1, Figure 4 leftmost stage).
+
+Parses an arriving INFO packet into a reception event: flow ID, PSN, CC
+flags (ACK/ECN/NACK/CNP), the probed RTT (computed from the echoed DATA
+transmit timestamp), and the switch test port the feedback arrived on
+(which selects the RX FIFO, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.base import Flags
+from repro.net.packet import Packet
+from repro.pswitch.packets import PTYPE_INFO
+
+
+@dataclass(frozen=True)
+class ReceptionEvent:
+    """One parsed INFO packet."""
+
+    flow_id: int
+    psn: int
+    flags: Flags
+    #: Probed round-trip time (ps), -1 when the echo timestamp is absent.
+    prb_rtt_ps: int
+    #: Switch test port the underlying ACK arrived on -> RX FIFO index.
+    rx_port: int
+    arrival_ps: int
+    #: Echoed INT records (empty unless the test enables INT).
+    int_path: tuple = ()
+
+
+class InfoParser:
+    """INFO packet -> :class:`ReceptionEvent`."""
+
+    def __init__(self) -> None:
+        self.parsed = 0
+        self.malformed = 0
+
+    def parse(self, packet: Packet, now_ps: int) -> ReceptionEvent | None:
+        if packet.ptype != PTYPE_INFO:
+            self.malformed += 1
+            return None
+        echo = packet.meta.get("echo_tstamp_ps", -1)
+        prb_rtt = now_ps - echo if echo >= 0 else -1
+        self.parsed += 1
+        return ReceptionEvent(
+            flow_id=packet.flow_id,
+            psn=packet.psn,
+            flags=Flags(
+                ack=packet.psn >= 0,
+                ecn=packet.ecn_echo,
+                nack=bool(packet.meta.get("nack", False)),
+                cnp=bool(packet.meta.get("cnp", False)),
+            ),
+            prb_rtt_ps=prb_rtt,
+            rx_port=int(packet.meta.get("rx_port", 0)),
+            arrival_ps=now_ps,
+            int_path=tuple(packet.meta.get("int_path", ())),
+        )

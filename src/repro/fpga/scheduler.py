@@ -1,0 +1,174 @@
+"""Line-rate flow scheduling with rescheduling events (paper Section 5.2).
+
+One :class:`PortScheduler` exists per switch test port (Section 5.3,
+egress direction).  Each owns:
+
+* a **scheduling FIFO** holding at most one event per flow — the
+  uniqueness invariant: a flow in the FIFO is *active*; a flow without an
+  event is reactivated by the CC module when its next INFO arrives;
+* a **priority FIFO** for retransmissions and timeout-driven sends;
+* a **TX timer**: at most one event is serviced per TX period, keeping
+  the per-port SCHE rate at or below the switch's per-port DATA rate so
+  the register queues never overflow.
+
+Servicing an event re-evaluates eligibility against the congestion window
+or pacing rate *in the scheduler* (not the CC module — the separation the
+paper argues for at the end of Section 5.2), emits a SCHE packet when
+eligible, and re-inserts a *rescheduling event* so active flows cycle
+round-robin, which is what makes single-port bandwidth sharing fair
+(Figure 6).
+
+The service loop is event-driven: the TX timer only ticks while a FIFO is
+non-empty (equivalent to the hardware's free-running timer, minus the
+idle ticks that would swamp a discrete-event simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cc.base import CCMode
+from repro.fpga.fifos import Fifo
+from repro.fpga.flow import FlowState
+from repro.sim.engine import Simulator
+from repro.units import SECOND, wire_bits
+
+#: The rescheduling loop latency (Section 5.2: "this entire loop only
+#: takes six clock cycles").  Must be below the TX period; validated by
+#: the NIC at construction.
+RESCHEDULE_LOOP_CYCLES = 6
+
+
+class PortScheduler:
+    """Scheduler + scheduling FIFO + TX timer for one test port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port_index: int,
+        tx_interval_ps: int,
+        mode: CCMode,
+        emit_sche: Callable[[FlowState, int, bool], None],
+        *,
+        on_bytes_sent: Optional[Callable[[FlowState], None]] = None,
+        fifo_capacity: int = 1 << 16,
+        phase_ps: int = 0,
+        min_flow_spacing_ps: int = 0,
+    ) -> None:
+        if tx_interval_ps <= 0:
+            raise ValueError(f"tx_interval must be positive, got {tx_interval_ps}")
+        self.sim = sim
+        self.port_index = port_index
+        self.tx_interval_ps = tx_interval_ps
+        self.mode = mode
+        self.emit_sche = emit_sche
+        self.on_bytes_sent = on_bytes_sent
+        #: Section 8 PPS reduction: minimum spacing between packets of the
+        #: SAME flow, for CC modules whose RMW latency exceeds the
+        #: per-packet budget (0 disables; rate mode paces anyway).
+        self.min_flow_spacing_ps = min_flow_spacing_ps
+        self.sched_fifo: Fifo[FlowState] = Fifo(
+            fifo_capacity, name=f"sched{port_index}"
+        )
+        self.prio_fifo: Fifo[tuple[FlowState, int]] = Fifo(
+            fifo_capacity, name=f"prio{port_index}"
+        )
+        self._next_tick_ps = phase_ps
+        self._tick_pending = False
+        self.ticks = 0
+        self.sche_emitted = 0
+        self.rtx_emitted = 0
+        self.skipped_pacing = 0
+        self.descheduled = 0
+
+    # -- event insertion -------------------------------------------------------
+
+    def enqueue_flow(self, flow: FlowState) -> None:
+        """Add a scheduling event for ``flow`` (idempotent: the FIFO keeps
+        at most one event per flow)."""
+        if flow.scheduled or flow.finished:
+            return
+        flow.scheduled = True
+        self.sched_fifo.push(flow)
+        self._kick()
+
+    def enqueue_rtx(self, flow: FlowState, psn: int) -> None:
+        """Add a high-priority retransmission event."""
+        self.prio_fifo.push((flow, psn))
+        self._kick()
+
+    # -- service loop ------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._tick_pending:
+            return
+        if self.sched_fifo.empty and self.prio_fifo.empty:
+            return
+        self._tick_pending = True
+        self.sim.at(max(self.sim.now, self._next_tick_ps), self._tick)
+
+    def _tick(self) -> None:
+        self._tick_pending = False
+        self._next_tick_ps = self.sim.now + self.tx_interval_ps
+        self.ticks += 1
+
+        rtx = self.prio_fifo.pop()
+        if rtx is not None:
+            flow, psn = rtx
+            if not flow.finished:
+                self.emit_sche(flow, psn, True)
+                flow.rtx_sent += 1
+                self.rtx_emitted += 1
+            self._kick()
+            return
+
+        flow = self.sched_fifo.pop()
+        if flow is None:
+            return
+        if self.mode is CCMode.WINDOW:
+            self._service_window(flow)
+        else:
+            self._service_rate(flow)
+        self._kick()
+
+    def _service_window(self, flow: FlowState) -> None:
+        if flow.finished or not flow.sendable_window():
+            # Window closed or all data sent: the flow goes inactive; the
+            # next INFO that opens the window re-adds its event.
+            flow.scheduled = False
+            self.descheduled += 1
+            return
+        if self.min_flow_spacing_ps > 0 and self.sim.now < flow.next_send_ps:
+            # Per-flow PPS cap (Section 8): recycle without sending.
+            self.skipped_pacing += 1
+            self.sched_fifo.push(flow)
+            return
+        if self.min_flow_spacing_ps > 0:
+            flow.next_send_ps = self.sim.now + self.min_flow_spacing_ps
+        self._emit(flow)
+        self.sched_fifo.push(flow)  # rescheduling event
+
+    def _service_rate(self, flow: FlowState) -> None:
+        if flow.finished or not flow.sendable_rate():
+            flow.scheduled = False
+            self.descheduled += 1
+            return
+        if self.sim.now < flow.next_send_ps:
+            # Pacing gate not yet open: recycle the event without sending.
+            self.skipped_pacing += 1
+            self.sched_fifo.push(flow)
+            return
+        pacing_ps = int(wire_bits(flow.frame_bytes) * SECOND / flow.cwnd_or_rate)
+        flow.next_send_ps = max(flow.next_send_ps, self.sim.now) + pacing_ps
+        self._emit(flow)
+        self.sched_fifo.push(flow)
+
+    def _emit(self, flow: FlowState) -> None:
+        psn = flow.nxt
+        flow.nxt += 1
+        flow.data_sent += 1
+        self.sche_emitted += 1
+        self.emit_sche(flow, psn, False)
+        if self.on_bytes_sent is not None:
+            flow.counter_bytes += flow.frame_bytes
+            self.on_bytes_sent(flow)

@@ -1,0 +1,76 @@
+"""The Slow Path (paper Section 5.4).
+
+Time-consuming CC logic that only runs once per RTT (DCTCP's alpha
+division, Timely's gradient bookkeeping) is moved off the fast path.  The
+fast path emits slow-path events; this executor processes them with a
+configurable latency budget of hundreds of clock cycles and applies the
+results to the flow's slow-path variable block — which the fast path
+reads but never writes (simple dual-port BRAM ownership).
+
+The executor also audits the paper's premise: slow-path events for one
+flow should arrive at most once per RTT.  If a new event for a flow
+lands while its previous one is still executing, the overrun is counted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.cc.base import CCAlgorithm
+from repro.fpga.clock import cycles_to_ps
+from repro.sim.engine import Simulator
+
+#: Default slow-path execution budget: "hundreds of clock cycles" per
+#: microsecond-scale RTT (Section 5.4).
+DEFAULT_SLOW_PATH_CYCLES = 200
+
+
+class SlowPathExecutor:
+    """Deferred executor for per-RTT CC computation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        cycles: int = DEFAULT_SLOW_PATH_CYCLES,
+        on_rate_update: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_ps = cycles_to_ps(cycles)
+        #: Callback ``(flow_id, new_cwnd_or_rate)`` when a slow-path run
+        #: returns a window/rate update.
+        self.on_rate_update = on_rate_update
+        self.events_processed = 0
+        self.overruns = 0
+        self._busy_until: dict[int, int] = {}
+
+    def submit(
+        self,
+        algorithm: CCAlgorithm,
+        flow_id: int,
+        event: Any,
+        cust: Any,
+        slow: Any,
+    ) -> None:
+        """Queue one slow-path event for ``flow_id``."""
+        now = self.sim.now
+        busy_until = self._busy_until.get(flow_id, -1)
+        if now < busy_until:
+            self.overruns += 1
+        start = max(now, busy_until)
+        finish = start + self.latency_ps
+        self._busy_until[flow_id] = finish
+        self.sim.at(finish, self._execute, algorithm, flow_id, event, cust, slow)
+
+    def _execute(
+        self,
+        algorithm: CCAlgorithm,
+        flow_id: int,
+        event: Any,
+        cust: Any,
+        slow: Any,
+    ) -> None:
+        result = algorithm.slow_path(event, cust, slow)
+        self.events_processed += 1
+        if result is not None and self.on_rate_update is not None:
+            self.on_rate_update(flow_id, result)

@@ -1,0 +1,68 @@
+"""Convergence-time analysis for throughput timeseries.
+
+The Figure 8 congestion test is really a statement about *convergence*:
+after a flow arrives at (or departs from) a bottleneck, how long until
+the survivors share fairly again?  These helpers extract that number
+from a :class:`~repro.measure.throughput.ThroughputSampler` timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.measure.fairness import jain_index
+from repro.measure.throughput import ThroughputSampler
+
+
+def fairness_series(
+    sampler: ThroughputSampler,
+    *,
+    prefix: str = "flow",
+    min_rate_bps: float = 1e9,
+) -> tuple[list[int], list[float]]:
+    """Jain index over time, across meters with ``prefix`` whose rate in
+    a sample exceeds ``min_rate_bps`` (inactive flows are excluded)."""
+    times: list[int] = []
+    values: list[float] = []
+    for sample in sampler.samples:
+        rates = [
+            rate
+            for name, rate in sample.rates_bps.items()
+            if name.startswith(prefix) and rate >= min_rate_bps
+        ]
+        if rates:
+            times.append(sample.time_ps)
+            values.append(jain_index(rates))
+    return times, values
+
+
+def convergence_time_ps(
+    sampler: ThroughputSampler,
+    event_ps: int,
+    *,
+    threshold: float = 0.95,
+    hold_samples: int = 3,
+    prefix: str = "flow",
+    min_rate_bps: float = 1e9,
+) -> Optional[int]:
+    """Time from ``event_ps`` until fairness first reaches ``threshold``
+    and holds it for ``hold_samples`` consecutive samples.
+
+    Returns None if fairness never converges within the timeline.
+    """
+    if hold_samples < 1:
+        raise ValueError(f"hold_samples must be >= 1, got {hold_samples}")
+    times, values = fairness_series(
+        sampler, prefix=prefix, min_rate_bps=min_rate_bps
+    )
+    run = 0
+    for time_ps, fairness in zip(times, values):
+        if time_ps < event_ps:
+            continue
+        if fairness >= threshold:
+            run += 1
+            if run >= hold_samples:
+                return time_ps - event_ps
+        else:
+            run = 0
+    return None

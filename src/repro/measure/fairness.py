@@ -1,0 +1,22 @@
+"""Fairness metrics for the scheduling and congestion tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 means perfectly equal shares.
+
+    For ``n`` flows the index is ``(sum r)^2 / (n * sum r^2)``, ranging
+    from ``1/n`` (one flow hogs everything) to ``1`` (equal rates).
+    """
+    if not rates:
+        raise ValueError("jain_index requires at least one rate")
+    if any(rate < 0 for rate in rates):
+        raise ValueError("rates must be non-negative")
+    total = sum(rates)
+    if total == 0:
+        return 1.0
+    square_sum = sum(rate * rate for rate in rates)
+    return (total * total) / (len(rates) * square_sum)

@@ -1,0 +1,95 @@
+"""Flow-completion-time collection and CDF statistics (Figures 9-10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import MICROSECOND
+
+
+@dataclass(frozen=True)
+class FctRecord:
+    flow_id: int
+    size_packets: int
+    size_bytes: int
+    start_ps: int
+    finish_ps: int
+
+    @property
+    def fct_ps(self) -> int:
+        return self.finish_ps - self.start_ps
+
+    @property
+    def fct_us(self) -> float:
+        return self.fct_ps / MICROSECOND
+
+
+@dataclass(frozen=True)
+class FctStats:
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+
+class FctCollector:
+    """Accumulates per-flow completion records."""
+
+    def __init__(self) -> None:
+        self.records: list[FctRecord] = []
+
+    def add(
+        self,
+        flow_id: int,
+        size_packets: int,
+        size_bytes: int,
+        start_ps: int,
+        finish_ps: int,
+    ) -> None:
+        if finish_ps < start_ps:
+            raise ValueError(
+                f"flow {flow_id}: finish {finish_ps} before start {start_ps}"
+            )
+        self.records.append(
+            FctRecord(flow_id, size_packets, size_bytes, start_ps, finish_ps)
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def fcts_us(self) -> np.ndarray:
+        return np.array([record.fct_us for record in self.records], dtype=float)
+
+    def stats(self) -> FctStats:
+        if not self.records:
+            raise ValueError("no FCT records collected")
+        fcts = self.fcts_us()
+        return FctStats(
+            count=len(fcts),
+            mean_us=float(np.mean(fcts)),
+            p50_us=float(np.percentile(fcts, 50)),
+            p95_us=float(np.percentile(fcts, 95)),
+            p99_us=float(np.percentile(fcts, 99)),
+            max_us=float(np.max(fcts)),
+        )
+
+    def short_flow_stats(self, cutoff_bytes: int) -> FctStats:
+        """Stats restricted to flows at or below ``cutoff_bytes`` (the
+        short-flow comparison in Figure 10)."""
+        subset = FctCollector()
+        subset.records = [r for r in self.records if r.size_bytes <= cutoff_bytes]
+        return subset.stats()
+
+
+def cdf_points(values_us: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    values = np.sort(np.asarray(values_us, dtype=float))
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from no values")
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return values, probabilities

@@ -1,0 +1,137 @@
+"""Devices and ports.
+
+A :class:`Device` is anything with ports: a switch, a host, Marlin's
+programmable switch, or the FPGA NIC.  A :class:`Port` owns an output queue
+and a transmitter that serializes packets onto the attached link at the
+port rate.  Reception is pushed to ``Device.receive(packet, port)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.units import RATE_100G, serialization_time_ps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+
+_device_uid = itertools.count()
+
+
+class Port:
+    """One device port: an output queue plus a rate-limited transmitter."""
+
+    def __init__(
+        self,
+        device: "Device",
+        index: int,
+        *,
+        rate_bps: int = RATE_100G,
+        queue: Optional[DropTailQueue] = None,
+    ) -> None:
+        self.device = device
+        self.index = index
+        self.rate_bps = rate_bps
+        self.queue = queue if queue is not None else DropTailQueue(capacity_bytes=2**20)
+        self.link: Optional["Link"] = None
+        self._busy = False
+        #: PFC: while paused, the transmitter holds frames in its queue.
+        self.paused = False
+        self.pause_events = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.device.sim
+
+    @property
+    def name(self) -> str:
+        return f"{self.device.name}.p{self.index}"
+
+    # -- transmit path ------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; returns False if dropped."""
+        if self.link is None:
+            raise ConfigError(f"port {self.name} is not connected to a link")
+        accepted = self.queue.enqueue(packet)
+        if accepted and not self._busy and not self.paused:
+            self._transmit_next()
+        return accepted
+
+    def pause(self) -> None:
+        """PFC XOFF: stop dequeuing new frames (the one on the wire
+        finishes).  Frames accumulate in the output queue meanwhile."""
+        if not self.paused:
+            self.paused = True
+            self.pause_events += 1
+
+    def resume(self) -> None:
+        """PFC XON: resume transmission."""
+        if not self.paused:
+            return
+        self.paused = False
+        if not self._busy and not self.queue.empty:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if self.paused:
+            self._busy = False
+            return
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = serialization_time_ps(packet.size_bytes, self.rate_bps)
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        assert self.link is not None
+        self.link.carry(self, packet, depart_ps=self.sim.now + tx_time)
+        self.sim.after(tx_time, self._transmit_next)
+
+    # -- receive path -------------------------------------------------------
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a packet finishes arriving at this port."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.size_bytes
+        self.device.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} rate={self.rate_bps}>"
+
+
+class Device:
+    """Base class for anything with ports.  Subclasses implement
+    :meth:`receive` to process arriving packets."""
+
+    def __init__(self, sim: Simulator, name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.uid = next(_device_uid)
+        self.name = name if name is not None else f"dev{self.uid}"
+        self.ports: list[Port] = []
+
+    def add_port(
+        self,
+        *,
+        rate_bps: int = RATE_100G,
+        queue: Optional[DropTailQueue] = None,
+    ) -> Port:
+        port = Port(self, len(self.ports), rate_bps=rate_bps, queue=queue)
+        self.ports.append(port)
+        return port
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"

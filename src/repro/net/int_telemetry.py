@@ -1,0 +1,78 @@
+"""In-band network telemetry (INT) support.
+
+The paper's introduction motivates CC algorithms that "require switches
+to provide additional network information, such as ECN and in-band
+network telemetry (INT)", and R2 demands the tester support them.  This
+module adds the INT substrate: switches stamp per-hop link state onto
+INT-enabled DATA packets, receivers echo the records back on ACKs, and
+the INFO path delivers them to the CC module (HPCC-style).
+
+A single :class:`IntRecord` (timestamp, queue length, cumulative TX
+bytes, link capacity) is ~16 B on the wire; one- or two-hop INT fits
+Marlin's 64 B ACK/INFO budget alongside the flow fields, which is the
+regime the tester's testbed (one bottleneck switch) exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.device import Port
+from repro.net.packet import Packet
+
+#: Packet meta keys.
+INT_ENABLED = "int_enabled"
+INT_PATH = "int_path"
+
+#: Hop budget that still fits the 64 B feedback packets.
+MAX_INT_HOPS = 2
+
+
+@dataclass(frozen=True)
+class IntRecord:
+    """One hop's telemetry, as HPCC consumes it."""
+
+    tstamp_ps: int
+    queue_bytes: int
+    tx_bytes: int
+    link_rate_bps: int
+
+
+def enable_int(packet: Packet) -> None:
+    """Mark a DATA packet as INT-enabled (done at generation time)."""
+    packet.meta[INT_ENABLED] = True
+    packet.meta[INT_PATH] = ()
+
+
+def stamp(packet: Packet, egress_port: Port, now_ps: int) -> None:
+    """Append this hop's telemetry to an INT-enabled packet.
+
+    Called by the switch on the forwarding path; no-op for packets that
+    did not request INT.  Hops beyond :data:`MAX_INT_HOPS` are dropped
+    (the 64 B feedback budget), keeping the earliest hops — for Marlin's
+    dumbbell testbeds the bottleneck is always within budget.
+    """
+    if not packet.meta.get(INT_ENABLED):
+        return
+    path = packet.meta.get(INT_PATH, ())
+    if len(path) >= MAX_INT_HOPS:
+        return
+    record = IntRecord(
+        tstamp_ps=now_ps,
+        queue_bytes=egress_port.queue.backlog_bytes,
+        tx_bytes=egress_port.tx_bytes,
+        link_rate_bps=egress_port.rate_bps,
+    )
+    packet.meta[INT_PATH] = path + (record,)
+
+
+def echo(source: Packet, feedback: Packet) -> None:
+    """Copy the INT path from a DATA packet onto its ACK (receiver side)."""
+    path = source.meta.get(INT_PATH)
+    if path:
+        feedback.meta[INT_PATH] = path
+
+
+def int_path(packet: Packet) -> tuple[IntRecord, ...]:
+    """The telemetry carried by a packet (possibly empty)."""
+    return tuple(packet.meta.get(INT_PATH, ()))

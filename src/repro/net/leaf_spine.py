@@ -1,0 +1,165 @@
+"""Leaf-spine fabrics: the "large-scale networks" of the paper's title.
+
+Cloud providers run the tester against multi-tier fabrics, not a single
+switch.  This module builds a 2-tier leaf-spine topology with ECMP
+across spines (per-flow hashing, no intra-flow reordering) and a helper
+that attaches a Marlin tester's test ports across the leaves — so
+experiments can create cross-leaf congestion, incast through the
+fabric, and spine-load-balancing scenarios.
+
+Routing:
+
+* each endpoint address is local to exactly one leaf;
+* leaves route local addresses to their endpoint ports and everything
+  else via an ECMP group over all spine uplinks;
+* spines route every address to the owning leaf's downlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a net<->core cycle)
+    from repro.core.tester import MarlinTester
+from repro.net.switch import NetworkSwitch
+from repro.net.topology import DEFAULT_LINK_DELAY_PS, Topology
+from repro.sim.engine import Simulator
+from repro.units import RATE_100G
+
+
+@dataclass
+class LeafSpineFabric:
+    """A wired leaf-spine network plus its address book."""
+
+    topology: Topology
+    leaves: list[NetworkSwitch]
+    spines: list[NetworkSwitch]
+    #: address -> (leaf index, leaf endpoint-port)
+    endpoints: dict[int, tuple[int, object]] = field(default_factory=dict)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def n_spines(self) -> int:
+        return len(self.spines)
+
+    def leaf_of(self, address: int) -> int:
+        try:
+            return self.endpoints[address][0]
+        except KeyError:
+            raise ConfigError(f"unknown endpoint address {address}") from None
+
+    def spine_load(self) -> list[int]:
+        """Packets forwarded per spine (load-balance observability)."""
+        return [spine.forwarded_packets for spine in self.spines]
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    n_leaves: int,
+    n_spines: int,
+    *,
+    rate_bps: int = RATE_100G,
+    delay_ps: int = DEFAULT_LINK_DELAY_PS,
+    ecn_threshold_bytes: int = 84_000,
+    queue_capacity_bytes: int = 2**22,
+) -> LeafSpineFabric:
+    """Create the switches and the full leaf<->spine mesh (no endpoints
+    yet — attach them with :func:`attach_endpoint` or
+    :func:`wire_tester_leaf_spine`)."""
+    if n_leaves < 1 or n_spines < 1:
+        raise ConfigError("need at least one leaf and one spine")
+    topo = Topology(sim)
+    leaves = [NetworkSwitch(sim, f"leaf{i}") for i in range(n_leaves)]
+    spines = [NetworkSwitch(sim, f"spine{j}") for j in range(n_spines)]
+    for switch in leaves + spines:
+        topo.add_device(switch)
+
+    # Full mesh of uplinks; remember each side's ports for routing.
+    uplinks: dict[int, list] = {i: [] for i in range(n_leaves)}  # leaf -> ports
+    downlinks: dict[tuple[int, int], object] = {}  # (spine, leaf) -> spine port
+    for i, leaf in enumerate(leaves):
+        for j, spine in enumerate(spines):
+            leaf_port = leaf.add_ecn_port(
+                rate_bps=rate_bps,
+                capacity_bytes=queue_capacity_bytes,
+                ecn_threshold_bytes=ecn_threshold_bytes,
+            )
+            spine_port = spine.add_ecn_port(
+                rate_bps=rate_bps,
+                capacity_bytes=queue_capacity_bytes,
+                ecn_threshold_bytes=ecn_threshold_bytes,
+            )
+            topo.connect(leaf_port, spine_port, delay_ps=delay_ps)
+            uplinks[i].append(leaf_port)
+            downlinks[(j, i)] = spine_port
+
+    fabric = LeafSpineFabric(topology=topo, leaves=leaves, spines=spines)
+    fabric._uplinks = uplinks  # type: ignore[attr-defined]
+    fabric._downlinks = downlinks  # type: ignore[attr-defined]
+    return fabric
+
+
+def attach_endpoint(
+    fabric: LeafSpineFabric,
+    leaf_index: int,
+    endpoint_port,
+    *,
+    rate_bps: int = RATE_100G,
+    delay_ps: int = DEFAULT_LINK_DELAY_PS,
+    ecn_threshold_bytes: int = 84_000,
+    queue_capacity_bytes: int = 2**22,
+) -> int:
+    """Connect an endpoint (host port or Marlin test port) to a leaf and
+    install routes for its freshly allocated address.  Returns the
+    address."""
+    if not 0 <= leaf_index < fabric.n_leaves:
+        raise ConfigError(f"no leaf {leaf_index}")
+    topo = fabric.topology
+    leaf = fabric.leaves[leaf_index]
+    leaf_port = leaf.add_ecn_port(
+        rate_bps=rate_bps,
+        capacity_bytes=queue_capacity_bytes,
+        ecn_threshold_bytes=ecn_threshold_bytes,
+    )
+    topo.connect(endpoint_port, leaf_port, delay_ps=delay_ps)
+    address = topo.allocate_address()
+    fabric.endpoints[address] = (leaf_index, leaf_port)
+
+    # Owning leaf: local delivery.
+    leaf.set_route(address, leaf_port)
+    # Other leaves: ECMP over their spine uplinks.
+    uplinks = fabric._uplinks  # type: ignore[attr-defined]
+    for other_index, other_leaf in enumerate(fabric.leaves):
+        if other_index != leaf_index:
+            other_leaf.set_ecmp_route(address, uplinks[other_index])
+    # Spines: down to the owning leaf.
+    downlinks = fabric._downlinks  # type: ignore[attr-defined]
+    for spine_index, spine in enumerate(fabric.spines):
+        spine.set_route(address, downlinks[(spine_index, leaf_index)])
+    return address
+
+
+def wire_tester_leaf_spine(
+    sim: Simulator,
+    tester: "MarlinTester",
+    n_leaves: int,
+    n_spines: int,
+    **fabric_kwargs,
+) -> LeafSpineFabric:
+    """Spread the tester's test ports round-robin across the leaves.
+
+    Port i lands on leaf ``i % n_leaves``; flows between ports on
+    different leaves traverse the spine mesh (exercising ECMP), flows on
+    the same leaf stay local — just like real racks under one tester.
+    """
+    fabric = build_leaf_spine(sim, n_leaves, n_spines, **fabric_kwargs)
+    for index, port in enumerate(tester.test_ports):
+        address = attach_endpoint(fabric, index % n_leaves, port)
+        tester.assign_port_address(index, address)
+    return fabric

@@ -1,0 +1,53 @@
+"""Full-duplex point-to-point links.
+
+Serialization happens in the sending :class:`~repro.net.device.Port` (so
+the port rate is the bottleneck); the link only adds propagation delay and
+delivers the packet to the far end.  Links never reorder packets because
+departures from one port are already serialized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.net.device import Port
+from repro.net.packet import Packet
+
+
+class Link:
+    """Connects exactly two ports with a fixed one-way propagation delay."""
+
+    def __init__(self, a: Port, b: Port, *, delay_ps: int = 0, name: Optional[str] = None):
+        if delay_ps < 0:
+            raise ConfigError(f"link delay must be >= 0, got {delay_ps}")
+        if a.link is not None or b.link is not None:
+            raise ConfigError("a port can be attached to at most one link")
+        if a is b:
+            raise ConfigError("cannot connect a port to itself")
+        self.a = a
+        self.b = b
+        self.delay_ps = delay_ps
+        self.name = name if name is not None else f"{a.name}<->{b.name}"
+        a.link = self
+        b.link = self
+        self.carried_packets = 0
+        self.carried_bytes = 0
+
+    def peer(self, port: Port) -> Port:
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ConfigError(f"port {port.name} is not attached to link {self.name}")
+
+    def carry(self, src_port: Port, packet: Packet, *, depart_ps: int) -> None:
+        """Deliver ``packet`` to the far end.  ``depart_ps`` is when the last
+        bit leaves ``src_port``; arrival is that plus propagation delay."""
+        dst_port = self.peer(src_port)
+        self.carried_packets += 1
+        self.carried_bytes += packet.size_bytes
+        src_port.sim.at(depart_ps + self.delay_ps, dst_port.deliver, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} delay={self.delay_ps}ps>"

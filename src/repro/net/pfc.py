@@ -1,0 +1,103 @@
+"""Priority Flow Control (PFC): lossless Ethernet for RoCE/DCQCN.
+
+DCQCN (the paper's rate-based workhorse) ships on lossless fabrics: PFC
+PAUSE frames stop an upstream transmitter before the local buffer
+overflows, and DCQCN exists to keep PFC from actually firing (the DCQCN
+paper's framing).  This controller reproduces the mechanism and its
+famous pathology:
+
+* when any output queue of a switch crosses ``xoff_bytes``, PAUSE is
+  sent to every neighbour feeding the switch (one PAUSE-frame flight
+  time later, their transmitters stop);
+* when the queue drains below ``xon_bytes``, the neighbours resume;
+* because PAUSE acts per *link*, innocent flows sharing a paused link
+  stall too — head-of-line blocking, observable in the tests.
+
+This is the standard simulator-grade PFC model (per-switch watermarks,
+not per-ingress accounting).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.net.device import Port
+from repro.net.switch import NetworkSwitch
+from repro.units import NANOSECOND
+
+#: PAUSE-frame processing time at the sender, on top of link propagation.
+PAUSE_REACTION_PS = 100 * NANOSECOND
+
+
+class PfcController:
+    """Watermark-based PAUSE/RESUME for one switch."""
+
+    def __init__(
+        self,
+        switch: NetworkSwitch,
+        *,
+        xoff_bytes: int,
+        xon_bytes: int,
+    ) -> None:
+        if not 0 < xon_bytes < xoff_bytes:
+            raise ConfigError(
+                f"need 0 < xon ({xon_bytes}) < xoff ({xoff_bytes})"
+            )
+        self.switch = switch
+        self.sim = switch.sim
+        self.xoff_bytes = xoff_bytes
+        self.xon_bytes = xon_bytes
+        #: Output queues currently above XOFF.
+        self._congested: set[int] = set()
+        self.pause_frames_sent = 0
+        self.resume_frames_sent = 0
+        for port in switch.ports:
+            port.queue.on_backlog_change = self._make_watcher(port)
+
+    # -- watermark tracking ------------------------------------------------------
+
+    def _make_watcher(self, port: Port):
+        def watch(backlog: int) -> None:
+            index = port.index
+            if backlog >= self.xoff_bytes and index not in self._congested:
+                self._congested.add(index)
+                if len(self._congested) == 1:
+                    self._set_upstream(True)
+            elif backlog <= self.xon_bytes and index in self._congested:
+                self._congested.discard(index)
+                if not self._congested:
+                    self._set_upstream(False)
+
+        return watch
+
+    def _set_upstream(self, pause: bool) -> None:
+        """PAUSE/RESUME every neighbour's transmitter toward this switch."""
+        for port in self.switch.ports:
+            if port.link is None:
+                continue
+            peer = port.link.peer(port)
+            delay = port.link.delay_ps + PAUSE_REACTION_PS
+            if pause:
+                self.pause_frames_sent += 1
+                self.sim.after(delay, peer.pause)
+            else:
+                self.resume_frames_sent += 1
+                self.sim.after(delay, peer.resume)
+
+    @property
+    def currently_pausing(self) -> bool:
+        return bool(self._congested)
+
+
+def enable_pfc(
+    switch: NetworkSwitch,
+    *,
+    xoff_bytes: int = 256 * 1024,
+    xon_bytes: int = 128 * 1024,
+) -> PfcController:
+    """Attach PFC to a switch's output queues.
+
+    Defaults follow common 100 G deployments: XOFF at 256 kB, XON at
+    half that — well above DCQCN's ECN threshold so CNPs fire first and
+    PFC stays a safety net (the DCQCN paper's intended configuration).
+    """
+    return PfcController(switch, xoff_bytes=xoff_bytes, xon_bytes=xon_bytes)

@@ -1,0 +1,104 @@
+"""Output queues: drop-tail and DCTCP-style ECN marking.
+
+The ECN queue implements the marking scheme DCTCP and DCQCN assume: a
+single threshold ``K`` on the instantaneous queue length; packets that
+arrive when the backlog is at or above ``K`` get their ECN field rewritten
+to CE (DCQCN's RED-like min/max marking can be approximated by this with
+``K = Kmin``, which is how the NVIDIA parameter guide configures lossless
+fabrics for testing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters exposed by every queue (readable like hardware registers)."""
+
+    enqueued_packets: int = 0
+    enqueued_bytes: int = 0
+    dequeued_packets: int = 0
+    dequeued_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    ecn_marked_packets: int = 0
+    max_backlog_bytes: int = 0
+
+
+class DropTailQueue:
+    """FIFO with a byte-capacity bound; arrivals beyond capacity are dropped."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._queue: deque[Packet] = deque()
+        self.backlog_bytes = 0
+        self.stats = QueueStats()
+        #: Optional observer called with the new backlog after every
+        #: enqueue/dequeue (used by the PFC controller).
+        self.on_backlog_change = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and counts a drop) when full."""
+        if self.backlog_bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return False
+        self._queue.append(packet)
+        self.backlog_bytes += packet.size_bytes
+        self._on_accept(packet)
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        if self.backlog_bytes > self.stats.max_backlog_bytes:
+            self.stats.max_backlog_bytes = self.backlog_bytes
+        if self.on_backlog_change is not None:
+            self.on_backlog_change(self.backlog_bytes)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.backlog_bytes -= packet.size_bytes
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size_bytes
+        if self.on_backlog_change is not None:
+            self.on_backlog_change(self.backlog_bytes)
+        return packet
+
+    def _on_accept(self, packet: Packet) -> None:
+        """Hook for subclasses, called just before an accepted enqueue."""
+
+
+class EcnQueue(DropTailQueue):
+    """Drop-tail queue that CE-marks arrivals when the backlog is >= K."""
+
+    def __init__(self, capacity_bytes: int, ecn_threshold_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        if not 0 < ecn_threshold_bytes <= capacity_bytes:
+            raise ValueError(
+                "ecn_threshold_bytes must be in (0, capacity_bytes], got "
+                f"{ecn_threshold_bytes} with capacity {capacity_bytes}"
+            )
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+
+    def _on_accept(self, packet: Packet) -> None:
+        if self.backlog_bytes >= self.ecn_threshold_bytes:
+            before = packet.ce_marked
+            packet.mark_ce()
+            if packet.ce_marked and not before:
+                self.stats.ecn_marked_packets += 1

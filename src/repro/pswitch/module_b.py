@@ -1,0 +1,29 @@
+"""Module B: the INFO generator (paper Section 4.1, steps 5-6).
+
+ACK packets returning from the tested network are reassembled into 64 B
+INFO packets carrying only the flow and congestion information the CC
+algorithm needs (flow ID, PSN, ECN echo, CNP/NACK flags, RTT-probe echo),
+then forwarded out the FPGA-facing port.  Both ACK and INFO are 64 B, so
+the transform is a header rewrite — no buffering, no rate change.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.pswitch.packets import make_info
+
+
+class InfoGenerator:
+    """Stateless ACK -> INFO transform with counters."""
+
+    def __init__(self) -> None:
+        self.acks_processed = 0
+        self.infos_generated = 0
+
+    def on_ack(self, ack: Packet, rx_port: int, now_ps: int) -> Packet:
+        """Compress ``ack`` (which arrived on test port ``rx_port``) into
+        an INFO packet addressed to the FPGA NIC."""
+        self.acks_processed += 1
+        info = make_info(ack, rx_port, created_ps=now_ps)
+        self.infos_generated += 1
+        return info

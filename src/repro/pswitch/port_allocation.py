@@ -1,0 +1,130 @@
+"""Port allocation within one switch pipeline (paper Section 4.3).
+
+A Tofino pipeline has 16 x 100 Gbps ports.  Marlin reserves:
+
+* 1 port whose ingress receives SCHE packets from the FPGA and whose
+  egress sends INFO packets back;
+* 1 port on the egress pipeline performing the SCHE enqueue operation;
+* 1 loopback port cycling TEMP packets;
+* optionally 1 port forwarding truncated DATA to the FPGA when receiver
+  logic is too complex for the switch (the dashed path in Figure 2);
+
+leaving up to 13 (or 12) ports for test traffic.  The number of test
+ports that one 100 Gbps SCHE stream can actually feed is the
+amplification factor ``floor(sche_pps / data_pps)`` — 12 at MTU 1024
+(1.2 Tbps), 13 once the MTU exceeds 1072 bytes (1.3 Tbps), and 18 in the
+unconstrained ideal at MTU 1518 (1.8 Tbps, more than a pipeline holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PortAllocationError
+from repro.pswitch.pipeline import MAX_PORTS_PER_PIPELINE
+from repro.units import MIN_FRAME_BYTES, RATE_100G, line_rate_pps
+
+
+@dataclass(frozen=True)
+class PortAllocation:
+    """A validated port layout for one pipeline."""
+
+    mtu_bytes: int
+    port_rate_bps: int
+    #: Ports carrying test DATA/ACK traffic.
+    test_ports: int
+    #: floor(SCHE pps / per-port DATA pps): how many test ports one FPGA
+    #: port can saturate.
+    amplification_factor: int
+    #: Reserved ports: SCHE/INFO, enqueue, loopback (+ receiver logic).
+    sche_info_ports: int
+    enqueue_ports: int
+    loopback_ports: int
+    receiver_logic_ports: int
+
+    @property
+    def reserved_ports(self) -> int:
+        return (
+            self.sche_info_ports
+            + self.enqueue_ports
+            + self.loopback_ports
+            + self.receiver_logic_ports
+        )
+
+    @property
+    def total_ports(self) -> int:
+        return self.test_ports + self.reserved_ports
+
+    @property
+    def data_throughput_bps(self) -> int:
+        """Aggregate generated DATA throughput (the headline number)."""
+        return self.test_ports * self.port_rate_bps
+
+    @property
+    def data_pps_per_port(self) -> float:
+        return line_rate_pps(self.mtu_bytes, self.port_rate_bps)
+
+    @property
+    def sche_pps(self) -> float:
+        return line_rate_pps(MIN_FRAME_BYTES, self.port_rate_bps)
+
+
+def amplification_factor(mtu_bytes: int, port_rate_bps: int = RATE_100G) -> int:
+    """floor(SCHE pps / DATA pps): test ports one SCHE stream can feed."""
+    sche_pps = line_rate_pps(MIN_FRAME_BYTES, port_rate_bps)
+    data_pps = line_rate_pps(mtu_bytes, port_rate_bps)
+    return int(sche_pps // data_pps)
+
+
+def allocate_ports(
+    mtu_bytes: int,
+    *,
+    port_rate_bps: int = RATE_100G,
+    pipeline_ports: int = MAX_PORTS_PER_PIPELINE,
+    receiver_logic_on_fpga: bool = False,
+    requested_test_ports: int | None = None,
+) -> PortAllocation:
+    """Compute the optimal (or a requested) port layout for one pipeline.
+
+    Raises :class:`PortAllocationError` when the layout does not fit.
+    """
+    if mtu_bytes <= MIN_FRAME_BYTES:
+        raise PortAllocationError(
+            f"MTU must exceed the 64 B control-packet size, got {mtu_bytes}"
+        )
+    reserved = 3 + (1 if receiver_logic_on_fpga else 0)
+    available = pipeline_ports - reserved
+    if available <= 0:
+        raise PortAllocationError(
+            f"pipeline with {pipeline_ports} ports cannot fit {reserved} reserved ports"
+        )
+    factor = amplification_factor(mtu_bytes, port_rate_bps)
+    if factor < 1:
+        raise PortAllocationError(
+            f"one SCHE port cannot feed any test port at MTU {mtu_bytes}"
+        )
+    test_ports = min(factor, available)
+    if requested_test_ports is not None:
+        if requested_test_ports < 1:
+            raise PortAllocationError("requested_test_ports must be >= 1")
+        if requested_test_ports > available:
+            raise PortAllocationError(
+                f"requested {requested_test_ports} test ports, only {available} "
+                f"available after reserving {reserved}"
+            )
+        if requested_test_ports > factor:
+            raise PortAllocationError(
+                f"requested {requested_test_ports} test ports, but one SCHE "
+                f"stream can only feed {factor} at MTU {mtu_bytes}"
+            )
+        test_ports = requested_test_ports
+    return PortAllocation(
+        mtu_bytes=mtu_bytes,
+        port_rate_bps=port_rate_bps,
+        test_ports=test_ports,
+        amplification_factor=factor,
+        sche_info_ports=1,
+        enqueue_ports=1,
+        loopback_ports=1,
+        receiver_logic_ports=1 if receiver_logic_on_fpga else 0,
+    )

@@ -1,0 +1,103 @@
+"""Register arrays and register-backed queues (paper Section 4.2).
+
+Tofino registers are fixed-size arrays with single-operation access per
+packet.  Marlin builds its per-egress-port metadata queues from a register
+array plus three extra registers — ``header``, ``tail``, and ``length`` —
+and, because a dequeued entry cannot be re-enqueued by the same packet,
+the queue is strictly FIFO with no peeking.
+
+:class:`RegisterQueue` reproduces those semantics, including the overflow
+failure mode: enqueueing into a full queue loses the metadata, which the
+paper calls a *false packet loss* (a DATA packet congestion control
+believes was sent never goes out).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import RegisterQueueOverflow
+
+
+class RegisterArray:
+    """A fixed-size array of register cells (ints or metadata tuples)."""
+
+    def __init__(self, size: int, initial: Any = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"register array size must be positive, got {size}")
+        self.size = size
+        self._cells: list[Any] = [initial] * size
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index: int) -> Any:
+        self.reads += 1
+        return self._cells[index % self.size]
+
+    def write(self, index: int, value: Any) -> None:
+        self.writes += 1
+        self._cells[index % self.size] = value
+
+
+class RegisterQueue:
+    """FIFO of metadata entries built on a register array.
+
+    ``strict`` controls the overflow policy: ``True`` raises
+    :class:`RegisterQueueOverflow` (useful in tests), ``False`` drops the
+    entry and counts it (the hardware behaviour).
+    """
+
+    def __init__(self, capacity: int, *, strict: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.strict = strict
+        self._array = RegisterArray(capacity, initial=None)
+        self.header = 0
+        self.tail = 0
+        self.length = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.overflows = 0
+        self.max_length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def empty(self) -> bool:
+        return self.length == 0
+
+    @property
+    def full(self) -> bool:
+        return self.length >= self.capacity
+
+    def enqueue(self, entry: Any) -> bool:
+        """Append ``entry``; on overflow either raises (strict) or drops."""
+        if self.length >= self.capacity:
+            self.overflows += 1
+            if self.strict:
+                raise RegisterQueueOverflow(
+                    f"register queue overflow (capacity {self.capacity}): "
+                    "a scheduled DATA packet was silently lost"
+                )
+            return False
+        self._array.write(self.tail, entry)
+        self.tail = (self.tail + 1) % self.capacity
+        self.length += 1
+        self.enqueued += 1
+        if self.length > self.max_length:
+            self.max_length = self.length
+        return True
+
+    def dequeue(self) -> Optional[Any]:
+        """Pop the head entry, or None when empty.  A popped entry cannot
+        be re-enqueued by the same 'packet' — callers get it exactly once."""
+        if self.length == 0:
+            return None
+        entry = self._array.read(self.header)
+        self._array.write(self.header, None)
+        self.header = (self.header + 1) % self.capacity
+        self.length -= 1
+        self.dequeued += 1
+        return entry

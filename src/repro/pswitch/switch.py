@@ -1,0 +1,173 @@
+"""The assembled Marlin programmable switch (paper Section 4).
+
+A :class:`MarlinSwitch` is a Device with ``n`` test ports (indices
+``0..n-1``) facing the tested network and one FPGA-facing port (the last
+index) carrying SCHE in / INFO out.  Dispatch per ingress packet:
+
+* SCHE from the FPGA port  -> Module C enqueues DATA metadata;
+* DATA from a test port    -> Module A produces ACK/NACK/CNP out the same
+  port (the tester is its own receiver, as in the paper's testbed);
+* ACK from a test port     -> Module B compresses it to INFO and forwards
+  it to the FPGA.
+
+A fixed ``pipeline_latency_ps`` models the Tofino ingress-to-egress
+transit for each of these paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.net.device import Device, Port
+from repro.net.packet import Packet
+from repro.pswitch.module_a import ReceiverLogic, ReceiverMode
+from repro.pswitch.module_b import InfoGenerator
+from repro.pswitch.module_c import DataGenerator
+from repro.pswitch.packets import PTYPE_ACK, PTYPE_DATA, PTYPE_SCHE, make_rdata
+from repro.pswitch.port_allocation import PortAllocation, allocate_ports
+from repro.sim.engine import Simulator
+from repro.units import MICROSECOND, NANOSECOND, RATE_100G, ROCE_MTU_BYTES
+
+
+@dataclass
+class MarlinSwitchConfig:
+    """Static configuration deployed by the control plane."""
+
+    #: Template (DATA) frame size; controls the amplification factor.
+    template_bytes: int = ROCE_MTU_BYTES
+    #: Test ports to instantiate; None uses the Section 4.3 optimum.
+    n_test_ports: Optional[int] = None
+    port_rate_bps: int = RATE_100G
+    #: Register-queue depth per egress port.
+    queue_capacity: int = 128
+    #: Raise on register-queue overflow instead of silently dropping.
+    strict_queues: bool = False
+    #: Tofino-class ingress-to-egress transit time.
+    pipeline_latency_ps: int = 400 * NANOSECOND
+    receiver_mode: ReceiverMode = ReceiverMode.TCP
+    #: Minimum spacing of CNPs per flow (RoCE mode).
+    cnp_interval_ps: int = 50 * MICROSECOND
+    #: Receiver reorder-buffer entries per flow (TCP mode).
+    ooo_capacity: int = 4096
+    #: Request in-band telemetry on generated DATA (HPCC-style CC).
+    int_enabled: bool = False
+    #: Figure 2 dashed path: truncate received DATA to 64 B and forward
+    #: it to the FPGA for receiver logic (costs one extra port on both
+    #: devices, Section 4.1).
+    receiver_on_fpga: bool = False
+
+
+class MarlinSwitch(Device):
+    """Programmable-switch half of the tester."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[MarlinSwitchConfig] = None,
+        *,
+        name: str = "marlin-switch",
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config if config is not None else MarlinSwitchConfig()
+        cfg = self.config
+        self.allocation: PortAllocation = allocate_ports(
+            cfg.template_bytes,
+            port_rate_bps=cfg.port_rate_bps,
+            requested_test_ports=cfg.n_test_ports,
+            receiver_logic_on_fpga=cfg.receiver_on_fpga,
+        )
+        self.test_ports: list[Port] = [
+            self.add_port(rate_bps=cfg.port_rate_bps)
+            for _ in range(self.allocation.test_ports)
+        ]
+        self.fpga_port: Port = self.add_port(rate_bps=cfg.port_rate_bps)
+        #: Extra FPGA-facing port carrying RDATA out / ACKs back when
+        #: receiver logic runs on the FPGA.
+        self.receiver_port: Optional[Port] = (
+            self.add_port(rate_bps=cfg.port_rate_bps)
+            if cfg.receiver_on_fpga
+            else None
+        )
+
+        self.data_generator = DataGenerator(
+            sim,
+            self.test_ports,
+            template_bytes=cfg.template_bytes,
+            queue_capacity=cfg.queue_capacity,
+            strict_queues=cfg.strict_queues,
+            int_enabled=cfg.int_enabled,
+        )
+        self.receiver = ReceiverLogic(
+            cfg.receiver_mode,
+            ooo_capacity=cfg.ooo_capacity,
+            cnp_interval_ps=cfg.cnp_interval_ps,
+        )
+        self.info_generator = InfoGenerator()
+        self.unknown_packets = 0
+
+    @property
+    def n_test_ports(self) -> int:
+        return len(self.test_ports)
+
+    # -- ingress dispatch -----------------------------------------------------
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        latency = self.config.pipeline_latency_ps
+        if packet.ptype == PTYPE_SCHE:
+            if port is not self.fpga_port:
+                raise ConfigError(
+                    f"SCHE packet arrived on {port.name}, expected the FPGA port"
+                )
+            self.sim.after(latency, self._handle_sche, packet)
+        elif packet.ptype == PTYPE_DATA:
+            self.sim.after(latency, self._handle_data, packet, port)
+        elif packet.ptype == PTYPE_ACK:
+            if port is self.receiver_port:
+                # A response computed by the FPGA's receiver logic: send
+                # it out the test port its DATA arrived on.
+                self.sim.after(latency, self._handle_fpga_response, packet)
+            else:
+                self.sim.after(latency, self._handle_ack, packet, port)
+        else:
+            self.unknown_packets += 1
+
+    def _handle_sche(self, packet: Packet) -> None:
+        self.data_generator.on_sche(packet)
+
+    def _handle_data(self, packet: Packet, port: Port) -> None:
+        if self.receiver_port is not None:
+            # Dashed Figure 2 path: truncate and defer to the FPGA.
+            self.receiver_port.send(
+                make_rdata(packet, port.index, created_ps=self.sim.now)
+            )
+            return
+        for response in self.receiver.on_data(packet, self.sim.now):
+            port.send(response)
+
+    def _handle_fpga_response(self, packet: Packet) -> None:
+        egress = packet.meta.get("egress_port")
+        if egress is None or not 0 <= egress < len(self.test_ports):
+            self.unknown_packets += 1
+            return
+        self.test_ports[egress].send(packet)
+
+    def _handle_ack(self, packet: Packet, port: Port) -> None:
+        info = self.info_generator.on_ack(packet, port.index, self.sim.now)
+        self.fpga_port.send(info)
+
+    # -- control-plane readable registers --------------------------------------
+
+    def read_counters(self) -> dict[str, int]:
+        """Hardware-register-style counters (Section 3.2 measurement)."""
+        return {
+            "data_generated": self.data_generator.data_generated,
+            "sche_accepted": self.data_generator.sche_accepted,
+            "sche_dropped": self.data_generator.sche_dropped,
+            "acks_generated": self.receiver.acks_generated,
+            "nacks_generated": self.receiver.nacks_generated,
+            "cnps_generated": self.receiver.cnps_generated,
+            "infos_generated": self.info_generator.infos_generated,
+            "receiver_ooo_dropped": self.receiver.ooo_dropped,
+        }

@@ -1,0 +1,22 @@
+"""Independent reference implementations used as experiment oracles.
+
+* :mod:`repro.reference.ns3_dctcp` — a self-contained single-flow
+  Reno/DCTCP simulator playing the role ns-3 plays in the paper's
+  Figure 5 correctness test;
+* :mod:`repro.reference.connectx` — a host-resident DCQCN stack standing
+  in for the Mellanox ConnectX-5 NICs of the Figure 9 fidelity test.
+
+Both are written independently of the Marlin CC modules (different state
+layout, different arithmetic style) so that agreement between them and
+the tester is evidence of correctness rather than shared code.
+"""
+
+from repro.reference.ns3_dctcp import ReferenceDctcpRun, run_reference_dctcp
+from repro.reference.connectx import ConnectXAgent, ConnectXFctHarness
+
+__all__ = [
+    "ReferenceDctcpRun",
+    "run_reference_dctcp",
+    "ConnectXAgent",
+    "ConnectXFctHarness",
+]

@@ -1,0 +1,390 @@
+"""A ConnectX-style host DCQCN stack (the Figure 9 baseline).
+
+The fidelity test compares Marlin's DCQCN against Mellanox ConnectX-5
+NICs in an n-cast-1 dumbbell: each host runs five queue pairs (QPs)
+sending RDMA-Write flows drawn from the WebSearch model, closed-loop.
+
+This module implements the NIC-resident stack on simulated hosts:
+
+* per-QP go-back-N transport with rate pacing and per-packet ACKs;
+* the notification point: CNP on CE-marked arrivals, one per flow per
+  ``cnp_interval``;
+* an independently coded DCQCN reaction point using fixed-point alpha
+  arithmetic (10 fractional bits), the style NIC firmware uses — close
+  to, but deliberately not bit-identical with, the HLS module in
+  :mod:`repro.cc.dcqcn` ("due to the proprietary nature of the DCQCN
+  implementation in commercial NICs, it was not possible to achieve
+  complete equivalence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.measure.fct import FctCollector
+from repro.net.host import Host
+from repro.net.packet import ECT, Packet
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timeout
+from repro.units import (
+    GBPS,
+    MBPS,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    wire_bits,
+)
+from repro.workload.distributions import SizeDistribution
+
+#: Fixed-point scale for alpha (10 fractional bits, firmware style).
+ALPHA_SCALE = 1 << 10
+
+
+@dataclass
+class DcqcnRpParams:
+    """Reaction-point parameters (NVIDIA-doc style knobs)."""
+
+    g_shift: int = 8  # g = 1/256
+    alpha_timer_ps: int = 55 * MICROSECOND
+    rate_timer_ps: int = 55 * MICROSECOND
+    byte_counter: int = 10 * 1024 * 1024
+    fast_recovery_threshold: int = 5
+    rate_ai_bps: float = 1 * GBPS
+    rate_hai_bps: float = 5 * GBPS
+    min_rate_bps: float = 100 * MBPS
+
+
+class _QueuePair:
+    """One sender QP: go-back-N + rate pacing + DCQCN RP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        qp_id: int,
+        dst_addr: int,
+        params: DcqcnRpParams,
+        line_rate_bps: float,
+        frame_bytes: int,
+        on_complete: Callable[["_QueuePair"], None],
+        *,
+        rto_ps: int = 1 * MILLISECOND,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.qp_id = qp_id
+        self.dst_addr = dst_addr
+        self.params = params
+        self.line_rate_bps = line_rate_bps
+        self.frame_bytes = frame_bytes
+        self.on_complete = on_complete
+        # Transport.
+        self.size_packets = 0
+        self.una = 0
+        self.nxt = 0
+        #: Incremented per flow so stale ACKs of the previous flow (which
+        #: restart PSNs at 0) cannot acknowledge the new one.
+        self.epoch = 0
+        self.active = False
+        self.start_ps = -1
+        self._send_pending = False
+        self._next_send_ps = 0
+        self.rto = Timeout(sim, rto_ps, self._on_rto)
+        # DCQCN RP state (fixed point alpha).
+        self.rate_bps = line_rate_bps
+        self.target_bps = line_rate_bps
+        self.alpha_q = ALPHA_SCALE  # alpha = 1.0
+        self.bc_count = 0
+        self.t_count = 0
+        self.bytes_since_bc = 0
+        self.cut_seen = False
+        self.alpha_timer = Timeout(sim, params.alpha_timer_ps, self._on_alpha_timer)
+        self.rate_timer = Timeout(sim, params.rate_timer_ps, self._on_rate_timer)
+
+    # -- flow lifecycle ---------------------------------------------------------
+
+    def start_flow(self, size_packets: int) -> None:
+        if self.active:
+            raise RuntimeError(f"QP {self.qp_id} already has an active flow")
+        self.size_packets = size_packets
+        self.una = 0
+        self.nxt = 0
+        self.epoch += 1
+        self.active = True
+        self.start_ps = self.sim.now
+        self.rto.restart()
+        self._pump()
+
+    # -- send side -----------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._send_pending or not self.active or self.nxt >= self.size_packets:
+            return
+        self._send_pending = True
+        self.sim.at(max(self.sim.now, self._next_send_ps), self._send)
+
+    def _send(self) -> None:
+        self._send_pending = False
+        if not self.active or self.nxt >= self.size_packets:
+            return
+        psn = self.nxt
+        self.nxt += 1
+        pacing_ps = int(wire_bits(self.frame_bytes) * SECOND / self.rate_bps)
+        self._next_send_ps = max(self._next_send_ps, self.sim.now) + pacing_ps
+        packet = Packet(
+            "DATA",
+            self.host.address,
+            self.dst_addr,
+            self.frame_bytes,
+            flow_id=self._flow_key(),
+            psn=psn,
+            ecn=ECT,
+            created_ps=self.sim.now,
+        )
+        self.host.send(packet)
+        self.bytes_since_bc += self.frame_bytes
+        if self.cut_seen and self.bytes_since_bc >= self.params.byte_counter:
+            self.bytes_since_bc = 0
+            self.bc_count += 1
+            self._rate_increase()
+        self._pump()
+
+    def _flow_key(self) -> int:
+        # Encodes (host, qp, flow epoch) so receiver state is per-flow and
+        # stale feedback from a previous flow on this QP is ignored.
+        return (self.host.address * 1000 + self.qp_id) * 100_000 + self.epoch
+
+    # -- feedback -----------------------------------------------------------------
+
+    def on_ack(self, psn: int, nack: bool, cnp: bool) -> None:
+        if cnp:
+            self._on_cnp()
+            return
+        if not self.active:
+            return
+        if nack:
+            self.nxt = psn  # go-back-N rewind
+            self._pump()
+            return
+        if psn > self.una:
+            self.una = psn
+            self.rto.restart()
+            if self.una >= self.size_packets:
+                self._complete()
+                return
+        self._pump()
+
+    def _complete(self) -> None:
+        self.active = False
+        self.rto.cancel()
+        self.on_complete(self)
+
+    def _on_rto(self) -> None:
+        if not self.active:
+            return
+        self.nxt = self.una
+        self.rto.restart()
+        self._pump()
+
+    # -- DCQCN reaction point (fixed point) ---------------------------------------
+
+    def _on_cnp(self) -> None:
+        self.target_bps = self.rate_bps
+        cut = self.rate_bps * self.alpha_q / (2 * ALPHA_SCALE)
+        self.rate_bps = max(self.rate_bps - cut, self.params.min_rate_bps)
+        g_q = ALPHA_SCALE >> self.params.g_shift
+        self.alpha_q = self.alpha_q - (self.alpha_q >> self.params.g_shift) + g_q
+        self.bc_count = 0
+        self.t_count = 0
+        self.cut_seen = True
+        self.alpha_timer.restart()
+        self.rate_timer.restart()
+
+    def _on_alpha_timer(self) -> None:
+        self.alpha_q -= self.alpha_q >> self.params.g_shift
+        if self.alpha_q > 1:
+            self.alpha_timer.restart()
+
+    def _on_rate_timer(self) -> None:
+        self.t_count += 1
+        self._rate_increase()
+        self.rate_timer.restart()
+
+    def _rate_increase(self) -> None:
+        if not self.cut_seen:
+            return
+        f = self.params.fast_recovery_threshold
+        if self.bc_count >= f and self.t_count >= f:
+            self.target_bps += self.params.rate_hai_bps
+        elif self.bc_count >= f or self.t_count >= f:
+            self.target_bps += self.params.rate_ai_bps
+        self.target_bps = min(self.target_bps, self.line_rate_bps)
+        self.rate_bps = min(
+            (self.target_bps + self.rate_bps) / 2.0, self.line_rate_bps
+        )
+
+
+class ConnectXAgent:
+    """Host agent: n sender QPs plus the receiver/notification point."""
+
+    def __init__(
+        self,
+        host: Host,
+        *,
+        params: Optional[DcqcnRpParams] = None,
+        frame_bytes: int = 1024,
+        cnp_interval_ps: int = 50 * MICROSECOND,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.params = params if params is not None else DcqcnRpParams()
+        self.frame_bytes = frame_bytes
+        self.cnp_interval_ps = cnp_interval_ps
+        self.qps: list[_QueuePair] = []
+        self._qp_by_key: dict[int, _QueuePair] = {}
+        # Receiver (notification point) state, keyed by sender flow key.
+        self._expected: dict[int, int] = {}
+        self._last_cnp_ps: dict[int, int] = {}
+        self._nacked_at: dict[int, int] = {}
+        self.completions: list[tuple[int, int, int]] = []  # (key, size, fct_ps)
+        self.on_qp_complete: Optional[Callable[[_QueuePair], None]] = None
+        host.attach(self)
+
+    # -- QP management -----------------------------------------------------------
+
+    def create_qp(self, dst_addr: int) -> _QueuePair:
+        qp = _QueuePair(
+            self.sim,
+            self.host,
+            len(self.qps),
+            dst_addr,
+            self.params,
+            float(self.host.port.rate_bps),
+            self.frame_bytes,
+            self._qp_completed,
+        )
+        self.qps.append(qp)
+        self._qp_by_key[self.host.address * 1000 + qp.qp_id] = qp
+        return qp
+
+    def _qp_completed(self, qp: _QueuePair) -> None:
+        self.completions.append(
+            (qp._flow_key(), qp.size_packets, self.sim.now - qp.start_ps)
+        )
+        if self.on_qp_complete is not None:
+            self.on_qp_complete(qp)
+
+    # -- packet reception ------------------------------------------------------------
+
+    def on_receive(self, packet: Packet) -> None:
+        if packet.ptype == "DATA":
+            self._receive_data(packet)
+        elif packet.ptype == "ACK":
+            qp = self._qp_by_key.get(packet.flow_id // 100_000)
+            if qp is not None and qp._flow_key() == packet.flow_id:
+                qp.on_ack(
+                    packet.psn,
+                    bool(packet.meta.get("nack", False)),
+                    bool(packet.meta.get("cnp", False)),
+                )
+
+    def _receive_data(self, data: Packet) -> None:
+        key = data.flow_id
+        expected = self._expected.get(key, 0)
+        if data.ce_marked:
+            last = self._last_cnp_ps.get(key, -(1 << 62))
+            if self.sim.now - last >= self.cnp_interval_ps:
+                self._last_cnp_ps[key] = self.sim.now
+                self._reply(data, -1, cnp=True)
+        if data.psn == expected:
+            expected += 1
+            self._expected[key] = expected
+            self._nacked_at.pop(key, None)
+            self._reply(data, expected)
+        elif data.psn > expected:
+            if self._nacked_at.get(key) != expected:
+                self._nacked_at[key] = expected
+                self._reply(data, expected, nack=True)
+        else:
+            self._reply(data, expected)
+
+    def reset_flow(self, key: int) -> None:
+        """Clear receiver state when the sender starts a fresh flow."""
+        self._expected.pop(key, None)
+        self._nacked_at.pop(key, None)
+
+    def _reply(
+        self, data: Packet, psn: int, *, nack: bool = False, cnp: bool = False
+    ) -> None:
+        ack = Packet(
+            "ACK",
+            self.host.address,
+            data.src,
+            64,
+            flow_id=data.flow_id,
+            psn=psn,
+            ecn_echo=data.ce_marked,
+            created_ps=self.sim.now,
+            meta={"nack": nack, "cnp": cnp},
+        )
+        self.host.send(ack)
+
+
+class ConnectXFctHarness:
+    """Closed-loop WebSearch FCT tool over host QPs (the verbs-API tool).
+
+    Each sender host gets ``qps_per_host`` QPs toward the receiver; after
+    a QP's flow completes, the next one starts immediately.  Receiver-side
+    state is reset between flows via a paired receiver agent.
+    """
+
+    def __init__(
+        self,
+        senders: list[ConnectXAgent],
+        receiver: ConnectXAgent,
+        distribution: SizeDistribution,
+        *,
+        qps_per_host: int = 5,
+        rng: Optional[np.random.Generator] = None,
+        stop_after_flows: Optional[int] = None,
+    ) -> None:
+        self.senders = senders
+        self.receiver = receiver
+        self.distribution = distribution
+        self.qps_per_host = qps_per_host
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stop_after_flows = stop_after_flows
+        self.fct = FctCollector()
+        self.flows_started = 0
+        for agent in senders:
+            for _ in range(qps_per_host):
+                agent.create_qp(receiver.host.address)
+            agent.on_qp_complete = self._on_complete
+
+    def start(self) -> None:
+        for agent in self.senders:
+            for qp in agent.qps:
+                self._launch(qp)
+
+    def _launch(self, qp: _QueuePair) -> None:
+        size = self.distribution.sample_packets(self.rng, qp.frame_bytes)
+        self.receiver.reset_flow(qp._flow_key())
+        qp.start_flow(size)
+        self.flows_started += 1
+
+    def _on_complete(self, qp: _QueuePair) -> None:
+        self.fct.add(
+            qp._flow_key() * 100_000 + self.flows_started,
+            qp.size_packets,
+            qp.size_packets * qp.frame_bytes,
+            qp.start_ps,
+            qp.sim.now,
+        )
+        if (
+            self.stop_after_flows is None
+            or self.flows_started < self.stop_after_flows
+        ):
+            self._launch(qp)

@@ -1,0 +1,240 @@
+"""An independent single-flow DCTCP simulator (the Figure 5 oracle).
+
+The paper validates Marlin's CC module by generating one DCTCP flow with
+deliberately injected packet losses and ECN marks and comparing the cwnd
+and alpha trajectories against an ns-3 simulation of the same scenario.
+This module is our stand-in for ns-3: a compact, self-contained TCP
+sender/receiver pair over a fixed-RTT pipe, with a deterministic
+drop/mark schedule keyed by PSN.
+
+The implementation deliberately shares no code with
+:mod:`repro.cc.dctcp`: it is a fresh state machine with its own recovery
+bookkeeping, so matching trajectories genuinely cross-check the Marlin
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.units import MICROSECOND, RATE_100G, SECOND, serialization_time_ps
+
+
+@dataclass
+class ReferenceDctcpRun:
+    """Recorded trajectories of one reference run."""
+
+    cwnd_times_ps: list[int] = field(default_factory=list)
+    cwnd_values: list[float] = field(default_factory=list)
+    alpha_times_ps: list[int] = field(default_factory=list)
+    alpha_values: list[float] = field(default_factory=list)
+    packets_delivered: int = 0
+    retransmissions: int = 0
+    completed: bool = False
+    finish_ps: int = -1
+
+
+class _RefSender:
+    """NewReno+DCTCP sender, independently coded."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        run: ReferenceDctcpRun,
+        *,
+        total_packets: int,
+        mss_bytes: int,
+        rate_bps: int,
+        init_cwnd: float,
+        init_ssthresh: float,
+        g: float,
+        init_alpha: float,
+    ) -> None:
+        self.sim = sim
+        self.run = run
+        self.total = total_packets
+        self.mss = mss_bytes
+        self.rate_bps = rate_bps
+        self.tx_interval_ps = serialization_time_ps(mss_bytes, rate_bps)
+        # Transport state.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = init_cwnd
+        self.ssthresh = init_ssthresh
+        self.dupacks = 0
+        self.recovering = False
+        self.recover_point = 0
+        # DCTCP estimator.
+        self.g = g
+        self.alpha = init_alpha
+        self.win_acked = 0
+        self.win_marked = 0
+        self.win_end = 0
+        self.ce_reacted_until = -1
+        # Plumbing.
+        self.pipe_tx = None  # set by the run harness
+        self._next_tx_ps = 0
+        self._tx_pending = False
+        self._record()
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(self) -> None:
+        self.run.cwnd_times_ps.append(self.sim.now)
+        self.run.cwnd_values.append(self.cwnd)
+
+    def _record_alpha(self) -> None:
+        self.run.alpha_times_ps.append(self.sim.now)
+        self.run.alpha_values.append(self.alpha)
+
+    # -- transmit side -----------------------------------------------------------
+
+    def pump(self) -> None:
+        """Transmit while the window allows, paced at the line rate."""
+        if self._tx_pending:
+            return
+        if self.snd_nxt < self.total and self.snd_nxt < self.snd_una + int(self.cwnd):
+            self._tx_pending = True
+            self.sim.at(max(self.sim.now, self._next_tx_ps), self._transmit)
+
+    def _transmit(self) -> None:
+        self._tx_pending = False
+        if self.snd_nxt >= self.total or self.snd_nxt >= self.snd_una + int(self.cwnd):
+            return
+        psn = self.snd_nxt
+        self.snd_nxt += 1
+        self._next_tx_ps = self.sim.now + self.tx_interval_ps
+        assert self.pipe_tx is not None
+        self.pipe_tx(psn, False)
+        self.pump()
+
+    def _retransmit(self, psn: int) -> None:
+        self.run.retransmissions += 1
+        assert self.pipe_tx is not None
+        self.pipe_tx(psn, True)
+
+    # -- ACK processing -------------------------------------------------------------
+
+    def on_ack(self, ack_psn: int, ce_echo: bool) -> None:
+        if ack_psn > self.snd_una:
+            newly = ack_psn - self.snd_una
+            self.snd_una = ack_psn
+            self.dupacks = 0
+            self.win_acked += newly
+            if ce_echo:
+                self.win_marked += newly
+            if self.recovering:
+                if ack_psn >= self.recover_point:
+                    self.recovering = False
+                    self.cwnd = self.ssthresh
+                else:
+                    self._retransmit(ack_psn)  # NewReno partial ACK
+            else:
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += newly
+                else:
+                    self.cwnd += newly / self.cwnd
+            if ce_echo and ack_psn > self.ce_reacted_until:
+                self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+                self.ssthresh = self.cwnd
+                self.ce_reacted_until = self.snd_nxt
+            if ack_psn >= self.win_end:
+                if self.win_acked > 0:
+                    fraction = self.win_marked / self.win_acked
+                    self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+                    self._record_alpha()
+                self.win_acked = 0
+                self.win_marked = 0
+                self.win_end = self.snd_nxt
+        else:
+            self.dupacks += 1
+            if self.dupacks == 3 and not self.recovering:
+                self.ssthresh = max(self.cwnd / 2.0, 2.0)
+                self.cwnd = self.ssthresh + 3
+                self.recovering = True
+                self.recover_point = self.snd_nxt
+                self._retransmit(self.snd_una)
+            elif self.recovering:
+                self.cwnd += 1
+        self._record()
+        if self.snd_una >= self.total:
+            self.run.completed = True
+            self.run.finish_ps = self.sim.now
+            return
+        self.pump()
+
+
+class _RefReceiver:
+    """Cumulative-ACK receiver with a reorder buffer."""
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffered: set[int] = set()
+
+    def on_data(self, psn: int) -> int:
+        if psn == self.expected:
+            self.expected += 1
+            while self.expected in self.buffered:
+                self.buffered.discard(self.expected)
+                self.expected += 1
+        elif psn > self.expected:
+            self.buffered.add(psn)
+        return self.expected
+
+
+def run_reference_dctcp(
+    *,
+    total_packets: int,
+    drop_psns: frozenset[int] | set[int] = frozenset(),
+    mark_psns: frozenset[int] | set[int] = frozenset(),
+    rtt_ps: int = 6 * MICROSECOND,
+    rate_bps: int = RATE_100G,
+    mss_bytes: int = 1024,
+    init_cwnd: float = 1.0,
+    init_ssthresh: float = 64.0,
+    g: float = 1.0 / 16.0,
+    init_alpha: float = 1.0,
+    max_duration_ps: Optional[int] = None,
+) -> ReferenceDctcpRun:
+    """Run one reference DCTCP flow with a deterministic drop/mark plan.
+
+    ``drop_psns`` are dropped on first transmission only (retransmissions
+    get through); ``mark_psns`` arrive CE-marked.  Returns the recorded
+    cwnd/alpha trajectories.
+    """
+    sim = Simulator()
+    run = ReferenceDctcpRun()
+    sender = _RefSender(
+        sim,
+        run,
+        total_packets=total_packets,
+        mss_bytes=mss_bytes,
+        rate_bps=rate_bps,
+        init_cwnd=init_cwnd,
+        init_ssthresh=init_ssthresh,
+        g=g,
+        init_alpha=init_alpha,
+    )
+    receiver = _RefReceiver()
+    one_way_ps = rtt_ps // 2
+    dropped_once: set[int] = set()
+
+    def deliver_data(psn: int, is_rtx: bool) -> None:
+        if psn in drop_psns and psn not in dropped_once and not is_rtx:
+            dropped_once.add(psn)
+            return
+        run.packets_delivered += 1
+        ack_psn = receiver.on_data(psn)
+        ce = psn in mark_psns
+        sim.after(one_way_ps, sender.on_ack, ack_psn, ce)
+
+    def pipe_tx(psn: int, is_rtx: bool) -> None:
+        sim.after(one_way_ps, deliver_data, psn, is_rtx)
+
+    sender.pipe_tx = pipe_tx
+    sender.pump()
+    deadline = max_duration_ps if max_duration_ps is not None else 1 * SECOND
+    sim.run(until_ps=deadline)
+    return run

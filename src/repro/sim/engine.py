@@ -1,0 +1,152 @@
+"""Heap-based discrete-event simulator with deterministic tie-breaking."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` (or the ``at`` /
+    ``after`` conveniences) and may be cancelled.  Cancellation is lazy: the
+    heap entry stays where it is and is skipped when popped.
+    """
+
+    __slots__ = ("time_ps", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time_ps: int, seq: int, fn: Callable[..., None], args: tuple):
+        self.time_ps = time_ps
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ps, self.seq) < (other.time_ps, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time_ps}ps seq={self.seq} {name} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    All model components hold a reference to one :class:`Simulator` and talk
+    to each other exclusively by scheduling callbacks on it.  Time is an
+    integer number of picoseconds (see :mod:`repro.units`).
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, time_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute time ``time_ps``."""
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time_ps} ps; current time is {self.now} ps"
+            )
+        event = Event(time_ps, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def at(self, time_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Alias of :meth:`schedule` reading naturally at call sites."""
+        return self.schedule(time_ps, fn, *args)
+
+    def after(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps} ps")
+        return self.schedule(self.now + delay_ps, fn, *args)
+
+    def call_now(self, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after pending events
+        that were already scheduled for this instant."""
+        return self.schedule(self.now, fn, *args)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time_ps
+            event.fn(*event.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until_ps`` is reached, or
+        ``max_events`` events have executed.  Returns events executed.
+
+        When ``until_ps`` is given, the clock is advanced to exactly
+        ``until_ps`` on return, and events scheduled later stay queued.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_ps is not None and event.time_ps > until_ps:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time_ps
+                event.fn(*event.args)
+                self._events_executed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until_ps is not None and not self._stopped and self.now < until_ps:
+            self.now = until_ps
+        return executed
+
+    def stop(self) -> None:
+        """Stop a ``run()`` in progress after the current event returns."""
+        self._stopped = True
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed over the simulator's lifetime."""
+        return self._events_executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self.now}ps pending={len(self._heap)} "
+            f"executed={self._events_executed}>"
+        )

@@ -1,0 +1,108 @@
+"""Timer utilities built on the event engine.
+
+:class:`PeriodicTimer` backs the FPGA's RX/TX frequency-control timers and
+the TEMP-packet loopback; :class:`Timeout` backs retransmission timers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period_ps`` picoseconds until stopped.
+
+    The next firing is scheduled *before* the callback runs, so a callback
+    may stop or re-period the timer and the change takes effect immediately.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_ps: int,
+        fn: Callable[[], None],
+        *,
+        start: bool = False,
+        phase_ps: int = 0,
+    ) -> None:
+        if period_ps <= 0:
+            raise SimulationError(f"timer period must be positive, got {period_ps}")
+        self.sim = sim
+        self.period_ps = period_ps
+        self.fn = fn
+        self.phase_ps = phase_ps
+        self._event: Optional[Event] = None
+        self.fire_count = 0
+        if start:
+            self.start()
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None
+
+    def start(self) -> None:
+        """Start (or restart) the timer; first firing after one period plus
+        the configured phase offset."""
+        self.cancel()
+        self._event = self.sim.after(self.period_ps + self.phase_ps, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def set_period(self, period_ps: int) -> None:
+        """Change the period; takes effect from the next scheduling."""
+        if period_ps <= 0:
+            raise SimulationError(f"timer period must be positive, got {period_ps}")
+        self.period_ps = period_ps
+
+    def _fire(self) -> None:
+        self._event = self.sim.after(self.period_ps, self._fire)
+        self.fire_count += 1
+        self.fn()
+
+
+class Timeout:
+    """A restartable one-shot timer (retransmission-timeout style).
+
+    ``restart()`` pushes the deadline out by the full duration; ``cancel()``
+    disarms it.  The callback only fires if the deadline passes untouched.
+    """
+
+    def __init__(self, sim: Simulator, duration_ps: int, fn: Callable[[], None]) -> None:
+        if duration_ps <= 0:
+            raise SimulationError(f"timeout duration must be positive, got {duration_ps}")
+        self.sim = sim
+        self.duration_ps = duration_ps
+        self.fn = fn
+        self._event: Optional[Event] = None
+        self.expirations = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None
+
+    def restart(self, duration_ps: Optional[int] = None) -> None:
+        """(Re)arm the timer for ``duration_ps`` (or the configured default)."""
+        if duration_ps is not None:
+            if duration_ps <= 0:
+                raise SimulationError(
+                    f"timeout duration must be positive, got {duration_ps}"
+                )
+            self.duration_ps = duration_ps
+        self.cancel()
+        self._event = self.sim.after(self.duration_ps, self._expire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _expire(self) -> None:
+        self._event = None
+        self.expirations += 1
+        self.fn()

@@ -1,0 +1,60 @@
+"""Structured trace recording.
+
+This is the software analogue of Marlin's fine-grained logging path
+(Section 5.1): components append timestamped records to a named channel,
+and analysis code reads them back as columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation on a channel."""
+
+    time_ps: int
+    channel: str
+    fields: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only store of :class:`TraceRecord` grouped by channel."""
+
+    records: dict[str, list[TraceRecord]] = field(default_factory=dict)
+
+    def log(self, time_ps: int, channel: str, **fields: Any) -> None:
+        """Append a record to ``channel``."""
+        self.records.setdefault(channel, []).append(
+            TraceRecord(time_ps=time_ps, channel=channel, fields=fields)
+        )
+
+    def channel(self, channel: str) -> list[TraceRecord]:
+        """All records logged on ``channel`` in time order."""
+        return self.records.get(channel, [])
+
+    def channels(self) -> list[str]:
+        return sorted(self.records)
+
+    def series(self, channel: str, key: str) -> tuple[list[int], list[Any]]:
+        """``(times_ps, values)`` for field ``key`` on ``channel``."""
+        times: list[int] = []
+        values: list[Any] = []
+        for record in self.channel(channel):
+            if key in record.fields:
+                times.append(record.time_ps)
+                values.append(record.fields[key])
+        return times, values
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for channel in self.channels():
+            yield from self.records[channel]
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self.records.values())

@@ -1,0 +1,139 @@
+"""Units and line-rate arithmetic used throughout the Marlin reproduction.
+
+The simulation clock is an integer count of **picoseconds**.  Integers keep
+event ordering exact: a 64-byte frame at 100 Gbps serializes in exactly
+5120 ps, and one 322 MHz FPGA clock cycle is 3105 ps (truncated), so no
+floating-point drift can reorder events between runs.
+
+The module also centralizes the Ethernet framing arithmetic the paper relies
+on (Section 3.3): packets-per-second figures such as 148.8 Mpps for 64-byte
+frames and 8.127 Mpps for 1518-byte frames include the 8-byte preamble and
+12-byte inter-frame gap.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+PICOSECOND = 1
+NANOSECOND = 1_000
+MICROSECOND = 1_000_000
+MILLISECOND = 1_000_000_000
+SECOND = 1_000_000_000_000
+
+#: Mnemonic aliases used in experiment scripts.
+PS = PICOSECOND
+NS = NANOSECOND
+US = MICROSECOND
+MS = MILLISECOND
+S = SECOND
+
+
+def seconds(t_ps: int) -> float:
+    """Convert a picosecond timestamp to float seconds (for reporting only)."""
+    return t_ps / SECOND
+
+
+def microseconds(t_ps: int) -> float:
+    """Convert a picosecond timestamp to float microseconds."""
+    return t_ps / MICROSECOND
+
+
+# --- data rate -------------------------------------------------------------
+
+BITS_PER_BYTE = 8
+
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+TBPS = 1_000_000_000_000
+
+#: Port speed used everywhere in the paper.
+RATE_100G = 100 * GBPS
+
+# --- Ethernet framing ------------------------------------------------------
+
+#: Preamble + start-of-frame delimiter.
+ETH_PREAMBLE_BYTES = 8
+#: Minimum inter-frame gap.
+ETH_IFG_BYTES = 12
+#: Total per-frame overhead on the wire.
+ETH_OVERHEAD_BYTES = ETH_PREAMBLE_BYTES + ETH_IFG_BYTES
+
+#: Minimum Ethernet frame (the size of SCHE/INFO/ACK packets in Marlin).
+MIN_FRAME_BYTES = 64
+#: RoCE MTU under the default Ethernet MTU (Section 3.3).
+ROCE_MTU_BYTES = 1024
+#: Standard Ethernet MTU frame used for the 1.8 Tbps theoretical bound.
+ETH_MTU_BYTES = 1518
+
+#: FPGA internal clock (Xilinx Alveo U280 / OpenNIC shell).
+FPGA_CLOCK_HZ = 322_000_000
+#: Duration of one FPGA clock cycle in picoseconds (truncated).
+FPGA_CYCLE_PS = SECOND // FPGA_CLOCK_HZ
+
+#: Tofino-class forwarding capacity (Section 2.1).
+TOFINO_PIPELINE_MPPS = 2_400
+
+
+def wire_bits(frame_bytes: int) -> int:
+    """Bits a frame occupies on the wire, including preamble and IFG."""
+    if frame_bytes <= 0:
+        raise ValueError(f"frame_bytes must be positive, got {frame_bytes}")
+    return (frame_bytes + ETH_OVERHEAD_BYTES) * BITS_PER_BYTE
+
+
+def serialization_time_ps(frame_bytes: int, rate_bps: int) -> int:
+    """Time to put a frame on the wire at ``rate_bps``, in picoseconds.
+
+    Rounds up so that back-to-back transmissions can never exceed line rate.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+    bits = wire_bits(frame_bytes)
+    return -(-bits * SECOND // rate_bps)  # ceil division
+
+
+def line_rate_pps(frame_bytes: int, rate_bps: int = RATE_100G) -> float:
+    """Packets per second at line rate for a given frame size.
+
+    ``line_rate_pps(64)`` is 148.8 Mpps and ``line_rate_pps(1518)`` is
+    8.127 Mpps on a 100 Gbps port, matching the paper's Section 3.3 figures.
+    """
+    return rate_bps / wire_bits(frame_bytes)
+
+
+def line_rate_interval_ps(frame_bytes: int, rate_bps: int = RATE_100G) -> int:
+    """Inter-packet interval at line rate, in picoseconds (rounded up)."""
+    return serialization_time_ps(frame_bytes, rate_bps)
+
+
+def goodput_bps(frame_bytes: int, payload_bytes: int, rate_bps: int = RATE_100G) -> float:
+    """Payload throughput achievable at line rate for a given frame size."""
+    if payload_bytes < 0 or payload_bytes > frame_bytes:
+        raise ValueError(
+            f"payload_bytes must be within [0, frame_bytes], got {payload_bytes}"
+        )
+    return line_rate_pps(frame_bytes, rate_bps) * payload_bytes * BITS_PER_BYTE
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable rate, e.g. ``1.20 Tbps`` or ``98.4 Gbps``."""
+    if rate_bps >= TBPS:
+        return f"{rate_bps / TBPS:.2f} Tbps"
+    if rate_bps >= GBPS:
+        return f"{rate_bps / GBPS:.2f} Gbps"
+    if rate_bps >= MBPS:
+        return f"{rate_bps / MBPS:.2f} Mbps"
+    return f"{rate_bps / KBPS:.2f} Kbps"
+
+
+def format_time(t_ps: int) -> str:
+    """Human-readable duration, e.g. ``12.5 us``."""
+    if t_ps >= SECOND:
+        return f"{t_ps / SECOND:.3f} s"
+    if t_ps >= MILLISECOND:
+        return f"{t_ps / MILLISECOND:.3f} ms"
+    if t_ps >= MICROSECOND:
+        return f"{t_ps / MICROSECOND:.3f} us"
+    return f"{t_ps / NANOSECOND:.3f} ns"

@@ -1,0 +1,24 @@
+"""Workloads: flow-size distributions and closed-loop flow generation."""
+
+from repro.workload.distributions import (
+    EmpiricalCdf,
+    FixedSize,
+    HADOOP_CDF_POINTS,
+    SizeDistribution,
+    WEBSEARCH_CDF_POINTS,
+    hadoop,
+    websearch,
+)
+from repro.workload.flowgen import ClosedLoopGenerator, FlowSlot
+
+__all__ = [
+    "EmpiricalCdf",
+    "FixedSize",
+    "HADOOP_CDF_POINTS",
+    "SizeDistribution",
+    "WEBSEARCH_CDF_POINTS",
+    "hadoop",
+    "websearch",
+    "ClosedLoopGenerator",
+    "FlowSlot",
+]

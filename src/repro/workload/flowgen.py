@@ -1,0 +1,100 @@
+"""Closed-loop flow generation (paper Sections 7.4-7.5).
+
+"To maintain the number of concurrent flows and maximize the throughput
+of the tester, a new flow will be created based on the chosen traffic
+model after each flow completes.  Therefore the arrival time of the flow
+is determined by the completion time of the previous one, rather than
+following a Poisson distribution."
+
+A :class:`FlowSlot` is one (source port, destination) lane that always
+holds exactly one in-flight flow; the generator keeps every slot busy
+until a stop condition is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tester import MarlinTester
+from repro.errors import ConfigError
+from repro.fpga.flow import FlowState
+from repro.workload.distributions import SizeDistribution
+
+
+@dataclass(frozen=True)
+class FlowSlot:
+    """One always-busy lane of the closed loop."""
+
+    src_port: int
+    dst_port: int
+
+
+class ClosedLoopGenerator:
+    """Keeps ``len(slots)`` flows concurrently in flight on a tester."""
+
+    def __init__(
+        self,
+        tester: MarlinTester,
+        distribution: SizeDistribution,
+        slots: list[FlowSlot],
+        *,
+        rng: Optional[np.random.Generator] = None,
+        stop_after_flows: Optional[int] = None,
+        stop_at_ps: Optional[int] = None,
+    ) -> None:
+        if not slots:
+            raise ConfigError("closed-loop generator needs at least one slot")
+        self.tester = tester
+        self.distribution = distribution
+        self.slots = slots
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stop_after_flows = stop_after_flows
+        self.stop_at_ps = stop_at_ps
+        self.payload_bytes = tester.config.template_bytes
+        self.flows_started = 0
+        self.flows_completed = 0
+        self._slot_of_flow: dict[int, FlowSlot] = {}
+        self._stopped = False
+        tester.nic.on_complete(self._on_complete)
+
+    def start(self) -> None:
+        """Launch the first flow in every slot."""
+        for slot in self.slots:
+            self._launch(slot)
+
+    def stop(self) -> None:
+        """Stop relaunching; in-flight flows run to completion."""
+        self._stopped = True
+
+    def _should_stop(self) -> bool:
+        if self._stopped:
+            return True
+        if (
+            self.stop_after_flows is not None
+            and self.flows_started >= self.stop_after_flows
+        ):
+            return True
+        if self.stop_at_ps is not None and self.tester.sim.now >= self.stop_at_ps:
+            return True
+        return False
+
+    def _launch(self, slot: FlowSlot) -> None:
+        size_packets = self.distribution.sample_packets(self.rng, self.payload_bytes)
+        flow = self.tester.start_flow(
+            port_index=slot.src_port,
+            dst_port_index=slot.dst_port,
+            size_packets=size_packets,
+        )
+        self._slot_of_flow[flow.flow_id] = slot
+        self.flows_started += 1
+
+    def _on_complete(self, flow: FlowState) -> None:
+        slot = self._slot_of_flow.pop(flow.flow_id, None)
+        if slot is None:
+            return  # not one of ours
+        self.flows_completed += 1
+        if not self._should_stop():
+            self._launch(slot)

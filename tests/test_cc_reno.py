@@ -1,0 +1,168 @@
+"""Reno state machine: slow start, CA, fast retransmit/recovery, RTO."""
+
+import pytest
+
+from repro.cc import EventType, Flags, IntrinsicInput, Reno, TIMER_RTO
+from repro.cc.base import CCMode
+
+
+def rx_event(psn, *, cwnd, una=0, nxt=0, ecn=False, nack=False, t=0):
+    return IntrinsicInput(
+        evt_type=EventType.RX,
+        psn=psn,
+        cwnd_or_rate=cwnd,
+        una=una,
+        nxt=nxt,
+        flags=Flags(ack=True, ecn=ecn, nack=nack),
+        prb_rtt=-1,
+        tstamp=t,
+    )
+
+
+def timeout_event(*, cwnd, timer_id=TIMER_RTO, t=0):
+    return IntrinsicInput(
+        evt_type=EventType.TIMEOUT,
+        psn=-1,
+        cwnd_or_rate=cwnd,
+        una=0,
+        nxt=0,
+        flags=Flags(),
+        prb_rtt=-1,
+        tstamp=t,
+        timer_id=timer_id,
+    )
+
+
+@pytest.fixture
+def reno():
+    return Reno(initial_cwnd=1.0, initial_ssthresh=8.0)
+
+
+class TestMode:
+    def test_is_window_mode(self, reno):
+        assert reno.mode is CCMode.WINDOW
+
+    def test_initial_values(self, reno):
+        assert reno.initial_cwnd_or_rate(100_000_000_000) == 1.0
+        assert reno.initial_cust().ssthresh == 8.0
+
+    def test_flow_start_arms_rto(self, reno):
+        out = reno.on_flow_start(reno.initial_cust(), None, 0)
+        assert (TIMER_RTO, reno.rto_ps) in out.rst_timers
+
+
+class TestSlowStart:
+    def test_cwnd_grows_by_acked(self, reno):
+        cust = reno.initial_cust()
+        out = reno.on_event(rx_event(1, cwnd=1.0), cust, None)
+        assert out.cwnd_or_rate == 2.0
+
+    def test_exponential_doubling_per_window(self, reno):
+        cust = reno.initial_cust()
+        cwnd = 1.0
+        acked = 0
+        # ACK an entire window each "round": cwnd doubles until ssthresh.
+        for _ in range(3):
+            for _ in range(int(cwnd)):
+                acked += 1
+                out = reno.on_event(rx_event(acked, cwnd=cwnd), cust, None)
+                cwnd = out.cwnd_or_rate
+        assert cwnd == 8.0  # 1 -> 2 -> 4 -> 8
+
+    def test_new_ack_resets_rto(self, reno):
+        cust = reno.initial_cust()
+        out = reno.on_event(rx_event(1, cwnd=1.0), cust, None)
+        assert (TIMER_RTO, reno.rto_ps) in out.rst_timers
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_above_ssthresh(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 10
+        out = reno.on_event(rx_event(11, cwnd=8.0), cust, None)
+        assert out.cwnd_or_rate == pytest.approx(8.0 + 1.0 / 8.0)
+
+    def test_max_cwnd_cap(self):
+        reno = Reno(initial_ssthresh=2.0, max_cwnd=10.0)
+        cust = reno.initial_cust()
+        out = reno.on_event(rx_event(1, cwnd=10.0), cust, None)
+        assert out.cwnd_or_rate == 10.0
+
+
+class TestFastRetransmit:
+    def drive_dupacks(self, reno, cust, cwnd, n, una=5, nxt=20):
+        out = None
+        for _ in range(n):
+            out = reno.on_event(
+                rx_event(cust.last_ack, cwnd=cwnd, una=una, nxt=nxt), cust, None
+            )
+            if out.cwnd_or_rate is not None:
+                cwnd = out.cwnd_or_rate
+        return out, cwnd
+
+    def test_three_dupacks_trigger_retransmit(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 5
+        out, cwnd = self.drive_dupacks(reno, cust, 10.0, 3)
+        assert out.rtx_psn == 5  # retransmit una
+        assert cust.in_recovery
+        assert cust.ssthresh == 5.0
+        assert cwnd == 8.0  # ssthresh + 3
+
+    def test_two_dupacks_do_nothing(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 5
+        out, cwnd = self.drive_dupacks(reno, cust, 10.0, 2)
+        assert out.rtx_psn == -1
+        assert not cust.in_recovery
+
+    def test_window_inflation_during_recovery(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 5
+        out, cwnd = self.drive_dupacks(reno, cust, 10.0, 4)
+        assert cwnd == 9.0  # inflated by the 4th dupack
+
+    def test_full_ack_exits_recovery(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 5
+        self.drive_dupacks(reno, cust, 10.0, 3)
+        out = reno.on_event(rx_event(20, cwnd=8.0, una=20, nxt=20), cust, None)
+        assert not cust.in_recovery
+        assert out.cwnd_or_rate == 5.0  # deflate to ssthresh
+
+    def test_partial_ack_retransmits_next_hole(self, reno):
+        cust = reno.initial_cust()
+        cust.last_ack = 5
+        self.drive_dupacks(reno, cust, 10.0, 3)
+        out = reno.on_event(rx_event(10, cwnd=8.0, una=10, nxt=20), cust, None)
+        assert cust.in_recovery  # still recovering
+        assert out.rtx_psn == 10
+
+
+class TestTimeout:
+    def test_timeout_collapses_window(self, reno):
+        cust = reno.initial_cust()
+        out = reno.on_event(timeout_event(cwnd=16.0), cust, None)
+        assert out.cwnd_or_rate == 1.0
+        assert out.rewind_to_una
+        assert cust.ssthresh == 8.0
+
+    def test_timeout_backs_off_exponentially(self, reno):
+        cust = reno.initial_cust()
+        out1 = reno.on_event(timeout_event(cwnd=16.0), cust, None)
+        out2 = reno.on_event(timeout_event(cwnd=1.0), cust, None)
+        (_, d1), = out1.rst_timers
+        (_, d2), = out2.rst_timers
+        assert d2 == 2 * d1
+
+    def test_new_ack_resets_backoff(self, reno):
+        cust = reno.initial_cust()
+        reno.on_event(timeout_event(cwnd=16.0), cust, None)
+        assert cust.rto_backoff == 2
+        reno.on_event(rx_event(1, cwnd=1.0), cust, None)
+        assert cust.rto_backoff == 1
+
+    def test_other_timer_ignored(self, reno):
+        cust = reno.initial_cust()
+        out = reno.on_event(timeout_event(cwnd=16.0, timer_id=5), cust, None)
+        assert out.cwnd_or_rate is None

@@ -1,0 +1,136 @@
+"""Convergence-time measurement and larger-population packet-level runs."""
+
+import numpy as np
+import pytest
+
+from repro import ControlPlane, TestConfig
+from repro.measure.convergence import convergence_time_ps, fairness_series
+from repro.measure.throughput import ThroughputSampler
+from repro.sim import Simulator
+from repro.units import MS, US
+from repro.workload import ClosedLoopGenerator, FlowSlot, websearch
+from repro.workload.distributions import EmpiricalCdf, WEBSEARCH_CDF_POINTS
+
+
+class TestConvergenceHelpers:
+    def synthetic_sampler(self, fair_after_ps):
+        sim = Simulator()
+        sampler = ThroughputSampler(sim, period_ps=100 * US)
+        sampler.start()
+        a = sampler.meter("flow1")
+        b = sampler.meter("flow2")
+
+        def feed():
+            # Unequal before fair_after, equal afterwards.
+            if sim.now < fair_after_ps:
+                a.count(10_000)
+                b.count(2_000)
+            else:
+                a.count(6_000)
+                b.count(6_000)
+            if sim.now < 3 * MS:
+                sim.after(100 * US, feed)
+
+        sim.at(0, feed)
+        sim.run(until_ps=3 * MS)
+        return sampler
+
+    def test_detects_convergence_point(self):
+        sampler = self.synthetic_sampler(fair_after_ps=1 * MS)
+        elapsed = convergence_time_ps(sampler, event_ps=0, min_rate_bps=1.0)
+        assert elapsed is not None
+        assert 1 * MS <= elapsed <= 1 * MS + 400 * US
+
+    def test_returns_none_when_never_fair(self):
+        sampler = self.synthetic_sampler(fair_after_ps=10 * MS)  # never
+        assert convergence_time_ps(sampler, event_ps=0, min_rate_bps=1.0) is None
+
+    def test_fairness_series_filters_inactive(self):
+        sampler = self.synthetic_sampler(fair_after_ps=1 * MS)
+        times, values = fairness_series(sampler, min_rate_bps=1.0)
+        assert len(times) == len(values) > 0
+        assert all(0.0 < v <= 1.0 for v in values)
+
+    def test_hold_samples_validated(self):
+        sampler = self.synthetic_sampler(fair_after_ps=1 * MS)
+        with pytest.raises(ValueError):
+            convergence_time_ps(sampler, 0, hold_samples=0)
+
+    def test_real_arrival_convergence_measured(self):
+        """DCQCN converges within ~1 ms of a second flow arriving."""
+        cp = ControlPlane()
+        tester = cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=3))
+        cp.wire_loopback_fabric()
+        sampler = tester.enable_rate_sampling(period_ps=100 * US)
+        tester.start_flow(port_index=0, dst_port_index=2, size_packets=10**9)
+        tester.start_flow(
+            port_index=1, dst_port_index=2, size_packets=10**9, start_at_ps=2 * MS
+        )
+        cp.run(duration_ps=6 * MS)
+        elapsed = convergence_time_ps(sampler, event_ps=2 * MS)
+        assert elapsed is not None
+        assert elapsed <= 2 * MS
+
+
+@pytest.mark.slow
+class TestLargePopulations:
+    def test_512_closed_loop_flows_packet_level(self):
+        """512 concurrent WebSearch-scaled flows through the full packet
+        datapath: everything completes or keeps progressing, with no
+        internal losses and no RMW conflicts."""
+        scaled = EmpiricalCdf(
+            tuple((max(size // 100, 1), prob) for size, prob in WEBSEARCH_CDF_POINTS)
+        )
+        cp = ControlPlane()
+        tester = cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=2))
+        cp.wire_loopback_fabric()
+        generator = ClosedLoopGenerator(
+            tester,
+            scaled,
+            [FlowSlot(0, 1) for _ in range(512)],
+            rng=np.random.default_rng(0),
+        )
+        generator.start()
+        cp.run(duration_ps=15 * MS)
+        counters = cp.read_measurements()
+        assert counters["switch.sche_dropped"] == 0
+        assert counters["fpga.rmw_conflicts"] == 0
+        assert counters["fpga.rx_fifo_drops"] == 0
+        assert generator.flows_completed > 100
+        # Concurrency is maintained: in-flight == slots.
+        in_flight = sum(
+            1 for f in tester.nic.flows.values() if f.started and not f.finished
+        )
+        assert in_flight == 512
+
+    def test_packet_level_websearch_short_flow_shape(self):
+        """At packet level too, DCQCN finishes short flows faster than
+        DCTCP under identical closed-loop WebSearch load (the Figure 10
+        inset's mechanism, observed without the fluid model)."""
+        # /20 keeps the median flow a few packets (so slow start vs
+        # line-rate start is visible) while tails stay tractable.
+        scaled = EmpiricalCdf(
+            tuple((max(size // 20, 1), prob) for size, prob in WEBSEARCH_CDF_POINTS)
+        )
+        medians = {}
+        for alg in ("dcqcn", "dctcp"):
+            params = {"initial_ssthresh": 64.0} if alg == "dctcp" else {}
+            cp = ControlPlane()
+            tester = cp.deploy(
+                TestConfig(cc_algorithm=alg, n_test_ports=2, cc_params=params)
+            )
+            cp.wire_loopback_fabric()
+            generator = ClosedLoopGenerator(
+                tester,
+                scaled,
+                [FlowSlot(0, 1) for _ in range(64)],
+                rng=np.random.default_rng(3),
+            )
+            generator.start()
+            cp.run(duration_ps=15 * MS)
+            short = [
+                r.fct_us for r in tester.fct.records if r.size_bytes <= 50 * 1024
+            ]
+            assert len(short) > 100
+            medians[alg] = float(np.median(short))
+        assert medians["dcqcn"] < medians["dctcp"]

@@ -1,0 +1,156 @@
+"""TestConfig validation, amplification reports, capability matrices."""
+
+import pytest
+
+from repro.baselines import (
+    CommercialTesterModel,
+    FpgaTesterModel,
+    SoftwareTesterModel,
+)
+from repro.core import (
+    TestConfig,
+    amplification_report,
+    device_characteristics_table,
+    max_generated_rate_bps,
+)
+from repro.core import tester_requirements_table as requirements_table
+from repro.core.capabilities import required_pps
+from repro.errors import ConfigError
+from repro.units import TBPS
+
+
+class TestTestConfig:
+    def test_defaults_valid(self):
+        TestConfig().validate()
+
+    def test_template_too_small(self):
+        with pytest.raises(ConfigError):
+            TestConfig(template_bytes=64).validate()
+
+    def test_flows_per_port_positive(self):
+        with pytest.raises(ConfigError):
+            TestConfig(flows_per_port=0).validate()
+
+    def test_receiver_mode_values(self):
+        with pytest.raises(ConfigError):
+            TestConfig(receiver_mode="weird").validate()
+        TestConfig(receiver_mode="roce").validate()
+
+    def test_port_rate_positive(self):
+        with pytest.raises(ConfigError):
+            TestConfig(port_rate_bps=0).validate()
+
+
+class TestAmplification:
+    def test_headline_1_2_tbps(self):
+        report = amplification_report(1024)
+        assert report.amplification_factor == 12
+        assert report.pipeline_rate_bps == pytest.approx(1.2 * TBPS)
+
+    def test_theoretical_1_8_tbps(self):
+        report = amplification_report(1518)
+        assert report.ideal_rate_bps == pytest.approx(1.8 * TBPS)
+        assert report.pipeline_rate_bps == pytest.approx(1.3 * TBPS)
+
+    def test_unconstrained_rate(self):
+        assert max_generated_rate_bps(1518, pipeline_limited=False) == pytest.approx(
+            1.8 * TBPS
+        )
+
+    def test_report_consistency(self):
+        report = amplification_report(1024)
+        assert report.amplification_factor == int(
+            report.sche_pps // report.data_pps_per_port
+        )
+
+
+class TestBaselineModels:
+    def test_software_tester_below_tbps(self):
+        """Section 2.1: 3 GHz / 50 cycles = 60 Mpps < 81 Mpps needed."""
+        model = SoftwareTesterModel()
+        assert model.max_pps == pytest.approx(60e6)
+        assert required_pps() == pytest.approx(81.3e6, rel=0.01)
+        assert not model.meets_rate(1 * TBPS, 1518)
+
+    def test_software_tester_cannot_schedule_single_flow_line_rate(self):
+        # 100 Gbps of 1024 B frames needs 11.97 Mpps -- a host can do that,
+        # but 64 B SCHE-style scheduling at 148.8 Mpps it cannot.
+        model = SoftwareTesterModel()
+        assert not model.single_flow_line_rate_ok(64)
+
+    def test_multicore_scaling(self):
+        model = SoftwareTesterModel(cores=8, scaling_efficiency=0.8)
+        assert model.max_pps == pytest.approx(8 * 0.8 * 60e6)
+        # Even 8 cores remain NIC-limited below Tbps.
+        assert not model.meets_rate(1 * TBPS, 1518)
+
+    def test_fpga_tester_interface_bound(self):
+        """Section 2.1: 4 cards x 2 x 100 G = 800 Gbps < 1 Tbps."""
+        model = FpgaTesterModel()
+        assert model.max_throughput_bps == 800_000_000_000
+        assert not model.meets_rate(1 * TBPS)
+        assert model.frequency_ok(1518)  # 322 MHz >> 8.127 Mpps
+
+    def test_commercial_tester_limits(self):
+        model = CommercialTesterModel()
+        assert not model.supports_custom_cc
+        assert not model.reaches_tbps
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        rows = {row.tester: row for row in requirements_table()}
+        sw = rows["software & FPGA"]
+        assert (sw.r1_cc_traffic, sw.r2_custom_cc, sw.r3_tbps) == (True, True, False)
+        commercial = rows["commercial"]
+        assert (commercial.r1_cc_traffic, commercial.r2_custom_cc, commercial.r3_tbps) == (
+            True,
+            False,
+            False,
+        )
+        pswitch = rows["programmable switch"]
+        assert (pswitch.r1_cc_traffic, pswitch.r2_custom_cc, pswitch.r3_tbps) == (
+            False,
+            False,
+            True,
+        )
+        marlin = rows["Marlin"]
+        assert (marlin.r1_cc_traffic, marlin.r2_custom_cc, marlin.r3_tbps) == (
+            True,
+            True,
+            True,
+        )
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        rows = {row.device: row for row in device_characteristics_table()}
+        host = rows["host"]
+        assert (host.programmability, host.frequency, host.throughput) == (
+            True,
+            False,
+            False,
+        )
+        switch = rows["programmable switch"]
+        assert (switch.programmability, switch.frequency, switch.throughput) == (
+            False,
+            True,
+            True,
+        )
+        fpga = rows["FPGA"]
+        assert (fpga.programmability, fpga.frequency, fpga.throughput) == (
+            True,
+            True,
+            False,
+        )
+        marlin = rows["Marlin"]
+        assert (marlin.programmability, marlin.frequency, marlin.throughput) == (
+            True,
+            True,
+            True,
+        )
+
+    def test_marlin_is_only_triple_check(self):
+        rows = device_characteristics_table()
+        full = [r.device for r in rows if r.programmability and r.frequency and r.throughput]
+        assert full == ["Marlin"]

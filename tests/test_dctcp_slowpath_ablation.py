@@ -1,0 +1,104 @@
+"""Section 5.4 ablation: DCTCP alpha via the Slow Path (32-bit) vs the
+fast path (16-bit fixed point).
+
+"Using the Slow Path to update alpha in DCTCP allows increasing division
+and alpha precision from 16-bit to 32-bit."
+"""
+
+import pytest
+
+from repro import ControlPlane, TestConfig
+from repro.cc import Dctcp
+from repro.cc.dctcp import ALPHA16_SCALE, AlphaUpdateEvent
+from repro.units import MS
+
+
+class TestFastPathAlpha:
+    def test_no_slow_state_when_disabled(self):
+        assert Dctcp(use_slow_path=False).initial_slow() is None
+        assert Dctcp(use_slow_path=True).initial_slow() is not None
+
+    def test_effective_alpha_sources(self):
+        fast = Dctcp(use_slow_path=False, initial_alpha=0.5)
+        cust = fast.initial_cust()
+        assert fast.effective_alpha(cust, None) == pytest.approx(0.5, abs=1e-4)
+
+        slow_alg = Dctcp(use_slow_path=True, initial_alpha=0.5)
+        slow = slow_alg.initial_slow()
+        assert slow_alg.effective_alpha(slow_alg.initial_cust(), slow) == 0.5
+
+    def test_alpha16_matches_float_at_coarse_fractions(self):
+        """With large marking fractions, 16-bit tracking agrees with the
+        float EWMA to within quantization."""
+        alg = Dctcp(use_slow_path=False, g=1 / 16)
+        cust = alg.initial_cust()
+        alpha_float = 1.0
+        for _ in range(50):
+            cust.acked_cnt, cust.marked_cnt = 100, 25
+            alg._update_alpha16(cust)
+            cust.acked_cnt = cust.marked_cnt = 0
+            alpha_float = (1 - 1 / 16) * alpha_float + (1 / 16) * 0.25
+        assert cust.alpha_q16 / ALPHA16_SCALE == pytest.approx(
+            alpha_float, abs=0.01
+        )
+
+    def test_16bit_loses_tiny_fractions(self):
+        """The Section 5.4 point: g*F truncates below one quantum, so a
+        tiny persistent marking fraction never registers in 16-bit alpha
+        while the 32-bit slow path tracks it."""
+        fast = Dctcp(use_slow_path=False, g=1 / 16, initial_alpha=0.0)
+        cust = fast.initial_cust()
+        for _ in range(200):
+            cust.acked_cnt, cust.marked_cnt = 10_000, 1  # F = 1e-4
+            fast._update_alpha16(cust)
+            cust.acked_cnt = cust.marked_cnt = 0
+        alpha16 = cust.alpha_q16 / ALPHA16_SCALE
+
+        slow_alg = Dctcp(use_slow_path=True, g=1 / 16, initial_alpha=0.0)
+        slow = slow_alg.initial_slow()
+        for _ in range(200):
+            slow_alg.slow_path(AlphaUpdateEvent(acked=10_000, marked=1), None, slow)
+
+        assert alpha16 == 0.0  # quantized away
+        assert slow.alpha == pytest.approx(1e-4, rel=0.05)  # converged
+
+    def test_fast_path_variant_runs_end_to_end(self):
+        cp = ControlPlane()
+        tester = cp.deploy(
+            TestConfig(
+                cc_algorithm="dctcp",
+                n_test_ports=2,
+                cc_params={"use_slow_path": False, "initial_ssthresh": 256.0},
+            )
+        )
+        cp.wire_loopback_fabric()
+        cp.start_flows(size_packets=2000, pattern="pairs")
+        cp.run(duration_ps=5 * MS)
+        assert len(tester.fct) == 1
+        # No slow-path events were emitted.
+        assert tester.nic.slow_path.events_processed == 0
+
+    def test_both_variants_converge_similarly_under_congestion(self):
+        """At ordinary marking fractions the variants behave alike."""
+        fcts = {}
+        for use_slow in (True, False):
+            cp = ControlPlane()
+            tester = cp.deploy(
+                TestConfig(
+                    cc_algorithm="dctcp",
+                    n_test_ports=3,
+                    cc_params={
+                        "use_slow_path": use_slow,
+                        "initial_ssthresh": 512.0,
+                    },
+                )
+            )
+            cp.wire_loopback_fabric()
+            for src in range(2):
+                tester.start_flow(
+                    port_index=src, dst_port_index=2, size_packets=3000
+                )
+            cp.run(duration_ps=10 * MS)
+            assert len(tester.fct) == 2
+            fcts[use_slow] = sum(r.fct_ps for r in tester.fct.records)
+        assert fcts[True] == pytest.approx(fcts[False], rel=0.15)

@@ -1,0 +1,133 @@
+"""Figure 5: Marlin's DCTCP module vs the independent reference.
+
+The paper validates the CC module by tracing cwnd and alpha for one
+DCTCP flow with deliberately injected drops (points A, C) and ECN marks
+(point B) and overlaying the ns-3 trajectory.  Here the same scenario
+runs through the full Marlin datapath (FPGA NIC + programmable switch +
+fabric with a deterministic packet filter) and through the independent
+reference simulator, and the trajectories must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ControlPlane, TestConfig
+from repro.reference.ns3_dctcp import run_reference_dctcp
+from repro.units import MS, US
+
+TOTAL_PACKETS = 4000
+DROPS = frozenset({1200, 2800})  # points A and C
+MARKS = frozenset(range(2000, 2020))  # point B
+
+
+def run_marlin(total=TOTAL_PACKETS, drops=DROPS, marks=MARKS):
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(
+            cc_algorithm="dctcp",
+            n_test_ports=2,
+            trace_cc=True,
+            cc_params={"initial_ssthresh": 64.0, "initial_cwnd": 1.0},
+        )
+    )
+    cp.wire_loopback_fabric()
+    dropped = set()
+
+    def packet_filter(packet, port):
+        if packet.ptype == "DATA":
+            if (
+                packet.psn in drops
+                and packet.psn not in dropped
+                and not packet.meta.get("is_rtx")
+            ):
+                dropped.add(packet.psn)
+                return False
+            if packet.psn in marks:
+                packet.mark_ce()
+        return True
+
+    cp.fabric.packet_filter = packet_filter
+    flow = tester.start_flow(port_index=0, dst_port_index=1, size_packets=total)
+    cp.run(duration_ps=20 * MS)
+    return tester, flow
+
+
+@pytest.fixture(scope="module")
+def runs():
+    tester, flow = run_marlin()
+    reference = run_reference_dctcp(
+        total_packets=TOTAL_PACKETS,
+        drop_psns=DROPS,
+        mark_psns=MARKS,
+        rtt_ps=6 * US,
+    )
+    return tester, flow, reference
+
+
+class TestFigure5:
+    def test_both_complete(self, runs):
+        tester, flow, reference = runs
+        assert flow.finished
+        assert reference.completed
+
+    def test_same_retransmission_count(self, runs):
+        tester, flow, reference = runs
+        assert flow.rtx_sent == reference.retransmissions == len(DROPS)
+
+    def test_fct_within_10_percent(self, runs):
+        tester, flow, reference = runs
+        assert flow.fct_ps == pytest.approx(reference.finish_ps, rel=0.10)
+
+    def test_slow_start_reaches_ssthresh_in_both(self, runs):
+        tester, flow, reference = runs
+        _, marlin_cwnd = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+        assert max(marlin_cwnd[:200]) >= 64.0
+        assert max(reference.cwnd_values[:200]) >= 64.0
+
+    def test_peak_window_agrees(self, runs):
+        tester, flow, reference = runs
+        _, marlin_cwnd = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+        assert max(marlin_cwnd) == pytest.approx(max(reference.cwnd_values), rel=0.10)
+
+    def test_cwnd_trajectory_close_on_normalized_time(self, runs):
+        """Resample both trajectories on normalized time; mean relative
+        deviation must be small."""
+        tester, flow, reference = runs
+        mt, mv = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+        rt, rv = reference.cwnd_times_ps, reference.cwnd_values
+        m_norm = np.asarray(mt, dtype=float) / mt[-1]
+        r_norm = np.asarray(rt, dtype=float) / rt[-1]
+        grid = np.linspace(0.02, 0.98, 200)
+        marlin_i = np.interp(grid, m_norm, mv)
+        ref_i = np.interp(grid, r_norm, rv)
+        deviation = np.abs(marlin_i - ref_i) / np.maximum(ref_i, 1.0)
+        assert float(np.mean(deviation)) < 0.15
+
+    def test_alpha_trajectories_agree(self, runs):
+        """Alpha decays from 1.0 and ends near zero in both
+        implementations, at matching final values."""
+        tester, flow, reference = runs
+        _, marlin_alpha = tester.nic.logger.series(f"flow{flow.flow_id}.slow", "alpha")
+        ref_alpha = reference.alpha_values
+        assert marlin_alpha[0] < 1.0  # already decaying from init 1.0
+        assert marlin_alpha[-1] < 0.05
+        assert marlin_alpha[-1] == pytest.approx(ref_alpha[-1], abs=0.01)
+
+    def test_ecn_point_b_raises_alpha_in_both(self, runs):
+        """The mark episode at point B interrupts the monotone decay."""
+        tester, flow, reference = runs
+        _, marlin_alpha = tester.nic.logger.series(f"flow{flow.flow_id}.slow", "alpha")
+        ref_alpha = reference.alpha_values
+
+        def has_bump(series):
+            # Alpha strictly decays except when marks arrive; a bump is a
+            # later sample exceeding an earlier one.
+            return any(b > a + 1e-9 for a, b in zip(series, series[1:]))
+
+        assert has_bump(marlin_alpha)
+        assert has_bump(ref_alpha)
+
+    def test_no_injection_means_clean_line_rate(self):
+        tester, flow = run_marlin(total=2000, drops=frozenset(), marks=frozenset())
+        assert flow.finished
+        assert flow.rtx_sent == 0

@@ -1,0 +1,190 @@
+"""The fluid layer: ideal FCT and the flow-level CC model, including
+cross-validation against the packet-level tester at small scale."""
+
+import numpy as np
+import pytest
+
+from repro import ControlPlane, TestConfig
+from repro.errors import ConfigError
+from repro.fluid import (
+    FluidSimulator,
+    dcqcn_profile,
+    dctcp_profile,
+    ideal_fct_ps,
+    ideal_fct_series_us,
+    ideal_profile,
+)
+from repro.units import GBPS, MICROSECOND, MS, RATE_100G, SECOND
+from repro.workload import websearch
+from repro.workload.distributions import EmpiricalCdf
+
+
+class TestIdealFct:
+    def test_equal_share_formula(self):
+        # 1 MB over 100 Gbps shared by 10 flows: 0.8 ms.
+        fct = ideal_fct_ps(1_000_000, 10, 100e9)
+        assert fct == pytest.approx(0.8 * 1e9, rel=1e-6)
+
+    def test_vectorized_matches_scalar(self):
+        sizes = [10_000, 100_000, 1_000_000]
+        series = ideal_fct_series_us(sizes, 5, 100e9)
+        for size, us in zip(sizes, series):
+            assert us == pytest.approx(ideal_fct_ps(size, 5, 100e9) / MICROSECOND)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_fct_ps(0, 1, 1e9)
+        with pytest.raises(ValueError):
+            ideal_fct_ps(1, 0, 1e9)
+        with pytest.raises(ValueError):
+            ideal_fct_series_us([0], 1, 1e9)
+
+
+class TestProfiles:
+    def test_profiles_validate(self):
+        for profile in (dctcp_profile(), dcqcn_profile(), ideal_profile()):
+            profile.validate()
+
+    def test_bad_utilization(self):
+        from repro.fluid.model import FluidCcProfile
+
+        with pytest.raises(ConfigError):
+            FluidCcProfile(name="x", utilization=0.0, startup="constant").validate()
+
+    def test_bad_startup(self):
+        from repro.fluid.model import FluidCcProfile
+
+        with pytest.raises(ConfigError):
+            FluidCcProfile(name="x", utilization=0.5, startup="warp").validate()
+
+
+class TestFlowFct:
+    def sim(self, n=100):
+        return FluidSimulator(n_ports=1, flows_per_port=n, seed=1)
+
+    def test_ideal_matches_closed_form(self):
+        fluid = self.sim(10)
+        fct = fluid.flow_fct_ps(1_000_000, ideal_profile())
+        assert fct == pytest.approx(ideal_fct_ps(1_000_000, 10, RATE_100G), rel=1e-6)
+
+    def test_dcqcn_short_flows_beat_dctcp(self):
+        """Figure 10 inset: DCQCN's line-rate start finishes short flows
+        far faster than DCTCP's slow start, which in turn beats ideal
+        equal-share."""
+        fluid = self.sim(1000)
+        size = 10_000  # 10 kB
+        dcqcn = fluid.flow_fct_ps(size, dcqcn_profile())
+        dctcp = fluid.flow_fct_ps(size, dctcp_profile())
+        ideal = fluid.flow_fct_ps(size, ideal_profile())
+        assert dcqcn < dctcp < ideal
+
+    def test_long_flows_near_equal_share(self):
+        """Tail flows converge to the fair share in every profile."""
+        fluid = self.sim(100)
+        size = 30_000_000
+        ideal = fluid.flow_fct_ps(size, ideal_profile())
+        for profile in (dctcp_profile(jitter_sigma=0), dcqcn_profile(jitter_sigma=0)):
+            fct = fluid.flow_fct_ps(size, profile)
+            # Worse than ideal (utilization < 1) but within 15%.
+            assert ideal < fct < 1.15 * ideal
+
+    def test_slow_start_round_count(self):
+        """A 10-packet flow takes ~log2(size) rounds of the effective RTT."""
+        fluid = FluidSimulator(
+            n_ports=1, flows_per_port=10_000, base_rtt_ps=6 * MICROSECOND
+        )
+        fct = fluid.flow_fct_ps(10 * 1000, dctcp_profile(jitter_sigma=0))
+        rounds = fct / fluid.effective_rtt_ps()
+        # ~3 ramp rounds (7 packets) plus the remainder at the fair share.
+        assert 3 <= rounds <= 8
+
+    def test_effective_rtt_inflates_in_sub_packet_regime(self):
+        """With n flows whose one-packet floor exceeds capacity, the
+        standing queue inflates the RTT to n*mss/C."""
+        small = FluidSimulator(n_ports=1, flows_per_port=10)
+        large = FluidSimulator(n_ports=1, flows_per_port=10_000)
+        assert large.effective_rtt_ps() > 10 * small.effective_rtt_ps()
+        mss_bits = large.mss_bytes * 8
+        assert large.effective_rtt_ps() == pytest.approx(
+            10_000 * mss_bits * 1e12 / RATE_100G
+        )
+
+    def test_dcqcn_short_flow_is_burst_plus_queue_pass(self):
+        """A short DCQCN flow bursts into the standing queue and completes
+        in roughly one effective RTT (one queue drain)."""
+        fluid = FluidSimulator(n_ports=1, flows_per_port=1000)
+        size = 10_000
+        fct = fluid.flow_fct_ps(size, dcqcn_profile(jitter_sigma=0))
+        serialization = size * 8 / RATE_100G * SECOND
+        assert fct >= serialization + fluid.effective_rtt_ps()
+        assert fct <= 3 * fluid.effective_rtt_ps()
+
+
+class TestFluidRun:
+    def test_run_collects_all_flows(self):
+        fluid = FluidSimulator(n_ports=2, flows_per_port=50, seed=3)
+        result = fluid.run(ideal_profile(), websearch(), flows_total=500)
+        assert result.total_flows == 500
+        assert np.all(result.fcts_us > 0)
+
+    def test_deterministic_under_seed(self):
+        fluid_a = FluidSimulator(n_ports=1, flows_per_port=10, seed=9)
+        fluid_b = FluidSimulator(n_ports=1, flows_per_port=10, seed=9)
+        a = fluid_a.run(dctcp_profile(), websearch(), flows_total=100)
+        b = fluid_b.run(dctcp_profile(), websearch(), flows_total=100)
+        assert np.array_equal(a.fcts_us, b.fcts_us)
+
+    def test_jitter_disabled_is_pure_model(self):
+        fluid = FluidSimulator(n_ports=1, flows_per_port=10, seed=9)
+        result = fluid.run(
+            dctcp_profile(jitter_sigma=0.0), websearch(), flows_total=50
+        )
+        expected = [
+            fluid.flow_fct_ps(float(s), dctcp_profile(jitter_sigma=0.0)) / MICROSECOND
+            for s in result.sizes_bytes
+        ]
+        assert np.allclose(result.fcts_us, expected)
+
+    def test_throughput_estimate_positive(self):
+        fluid = FluidSimulator(n_ports=12, flows_per_port=100, seed=0)
+        result = fluid.run(dcqcn_profile(), websearch(), flows_total=2000)
+        assert result.throughput_bps() > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FluidSimulator(n_ports=0, flows_per_port=1)
+        with pytest.raises(ConfigError):
+            FluidSimulator(n_ports=1, flows_per_port=0)
+
+
+class TestCrossValidation:
+    """The fluid model must agree with the packet-level tester where both
+    are feasible (the DESIGN.md validation obligation for Figure 10)."""
+
+    @pytest.mark.slow
+    def test_fluid_matches_packet_sim_at_small_scale(self):
+        flows_per_port = 4
+        size_packets = 2000  # ~2 MB at 1024 B
+        cp = ControlPlane()
+        tester = cp.deploy(
+            TestConfig(
+                cc_algorithm="dcqcn",
+                n_test_ports=2,
+                flows_per_port=flows_per_port,
+            )
+        )
+        cp.wire_loopback_fabric()
+        cp.start_flows(size_packets=size_packets, pattern="pairs")
+        cp.run(duration_ps=30 * MS)
+        assert len(tester.fct) == flows_per_port
+        packet_mean_us = tester.fct.stats().mean_us
+
+        fluid = FluidSimulator(n_ports=1, flows_per_port=flows_per_port, seed=0)
+        fluid_fct_us = (
+            fluid.flow_fct_ps(
+                size_packets * 1024, dcqcn_profile(jitter_sigma=0.0)
+            )
+            / MICROSECOND
+        )
+        # Flow-level vs packet-level within 2x: same order, same regime.
+        assert fluid_fct_us == pytest.approx(packet_mean_us, rel=1.0)

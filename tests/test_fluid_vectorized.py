@@ -1,0 +1,71 @@
+"""Vectorized fluid kernels must match the scalar reference exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid import FluidSimulator, dcqcn_profile, dctcp_profile, ideal_profile
+from repro.units import MICROSECOND
+from repro.workload import websearch
+
+
+@pytest.fixture(params=[4, 100, 5461])
+def fluid(request):
+    return FluidSimulator(n_ports=1, flows_per_port=request.param, seed=3)
+
+
+PROFILES = [
+    ideal_profile(),
+    dctcp_profile(jitter_sigma=0.0),
+    dcqcn_profile(jitter_sigma=0.0),
+]
+
+SIZES = np.array(
+    [1, 500, 1_000, 10_000, 64_000, 200_000, 1_000_000, 5_000_000, 30_000_000],
+    dtype=float,
+)
+
+
+class TestVectorScalarEquivalence:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    def test_batch_matches_scalar(self, fluid, profile):
+        batch = fluid._fct_batch_ps(SIZES, profile)
+        scalar = np.array([fluid.flow_fct_ps(s, profile) for s in SIZES])
+        assert np.allclose(batch, scalar, rtol=1e-9)
+
+    @given(size=st.floats(min_value=1, max_value=3e7))
+    @settings(max_examples=120, deadline=None)
+    def test_random_sizes_match(self, size):
+        fluid = FluidSimulator(n_ports=1, flows_per_port=1000, seed=0)
+        for profile in PROFILES:
+            batch = fluid._fct_batch_ps(np.array([size]), profile)[0]
+            scalar = fluid.flow_fct_ps(size, profile)
+            assert batch == pytest.approx(scalar, rel=1e-9)
+
+    def test_monotone_in_size(self, fluid):
+        for profile in PROFILES:
+            fct = fluid._fct_batch_ps(SIZES, profile)
+            assert np.all(np.diff(fct) >= 0)
+
+    def test_run_uses_vectorized_path(self):
+        """Full run equals per-flow scalar evaluation on the same draws."""
+        fluid = FluidSimulator(n_ports=2, flows_per_port=50, seed=11)
+        profile = dctcp_profile(jitter_sigma=0.0)
+        result = fluid.run(profile, websearch(), flows_total=500)
+        expected = [
+            fluid.flow_fct_ps(float(s), profile) / MICROSECOND
+            for s in result.sizes_bytes
+        ]
+        assert np.allclose(result.fcts_us, expected)
+
+    def test_large_batch_fast(self):
+        """100k flows should take well under a second per profile."""
+        import time
+
+        fluid = FluidSimulator(n_ports=12, flows_per_port=5461, seed=1)
+        sizes = websearch().sample_many(np.random.default_rng(0), 100_000)
+        start = time.monotonic()
+        for profile in PROFILES:
+            fluid._fct_batch_ps(sizes.astype(float), profile)
+        assert time.monotonic() - start < 5.0

@@ -1,0 +1,86 @@
+"""Packet-frequency control (Section 5.3): RX/TX timer derivation and the
+safety analysis."""
+
+import pytest
+
+from repro.cc import Cubic, Dcqcn, Dctcp, Reno
+from repro.errors import ConfigError
+from repro.fpga.hls import algorithm_cycles
+from repro.fpga.timers import FrequencyControl
+from repro.units import FPGA_CYCLE_PS, serialization_time_ps, RATE_100G
+
+
+class TestDerivedPeriods:
+    def test_tx_interval_matches_template_serialization(self):
+        fc = FrequencyControl(1024, 12)
+        assert fc.tx_interval_ps == serialization_time_ps(1024, RATE_100G)
+
+    def test_rx_defaults_to_tx(self):
+        fc = FrequencyControl(1518, 12)
+        assert fc.rx_interval_ps == fc.tx_interval_ps
+
+    def test_rx_override(self):
+        fc = FrequencyControl(1518, 12, rx_interval_override_ps=1000)
+        assert fc.rx_interval_ps == 1000
+
+    def test_sche_interval_is_64b_time(self):
+        fc = FrequencyControl(1024, 12)
+        assert fc.sche_interval_ps == serialization_time_ps(64, RATE_100G)
+
+
+class TestRmwBudget:
+    def test_paper_40_cycles_at_1518(self):
+        """Section 5.3: 'RMW operations are allowed to take a maximum of
+        40 clock cycles' at MTU 1518."""
+        assert FrequencyControl(1518, 12).max_rmw_cycles == 40
+
+    def test_paper_27_cycles_at_1024(self):
+        """Section 6: 'when the template packet size is 1024B, the CC
+        module has 27 clock cycles for processing'."""
+        assert FrequencyControl(1024, 12).max_rmw_cycles == 27
+
+    def test_dctcp_fits_1024_budget(self):
+        """The paper's DCTCP (24 cycles) meets the 27-cycle constraint."""
+        fc = FrequencyControl(1024, 12)
+        assert algorithm_cycles(Dctcp()) <= fc.max_rmw_cycles
+        assert fc.validate(algorithm_cycles(Dctcp())) == []
+
+    def test_all_paper_algorithms_fit(self):
+        fc = FrequencyControl(1024, 12)
+        for alg in (Reno(), Dctcp(), Dcqcn()):
+            assert fc.validate(algorithm_cycles(alg)) == []
+
+
+class TestViolations:
+    def test_rx_slower_than_tx_flagged(self):
+        fc = FrequencyControl(1024, 12, rx_interval_override_ps=10**6)
+        problems = fc.validate(2)
+        assert any("RX FIFOs will overflow" in p for p in problems)
+
+    def test_cubic_flagged_at_line_rate(self):
+        """Section 8: Cubic (~100 cycles) cannot run per-packet at line
+        rate; the analysis must demand a PPS reduction."""
+        fc = FrequencyControl(1518, 12)
+        cycles = algorithm_cycles(Cubic())
+        problems = fc.validate(cycles)
+        assert any("RMW conflicts" in p for p in problems)
+        factor = fc.pps_reduction_factor(cycles)
+        assert factor >= 2  # ~98 cycles vs 40-cycle budget -> 3x
+
+    def test_pps_reduction_exact(self):
+        fc = FrequencyControl(1518, 12)
+        assert fc.pps_reduction_factor(40) == 1
+        assert fc.pps_reduction_factor(41) == 2
+        assert fc.pps_reduction_factor(98) == 3
+
+    def test_too_many_ports_exceed_sche_line_rate(self):
+        # 64 B SCHE takes 6720 ps; at MTU 1024 the TX period is 83,520 ps,
+        # which fits 12 SCHE but not 13.
+        assert FrequencyControl(1024, 12).validate(2) == []
+        problems = FrequencyControl(1024, 13).validate(2)
+        assert any("line rate" in p for p in problems)
+
+    def test_pps_reduction_rejects_bad_input(self):
+        fc = FrequencyControl(1024, 12)
+        with pytest.raises(ConfigError):
+            fc.pps_reduction_factor(0)

@@ -1,0 +1,296 @@
+"""Unit tests of the assembled FPGA NIC and Marlin switch devices, plus
+the event generator and slow-path executor."""
+
+import pytest
+
+from repro.cc import Dctcp, Reno
+from repro.cc.dctcp import AlphaUpdateEvent
+from repro.errors import ConfigError
+from repro.fpga.event_generator import EventGenerator
+from repro.fpga.nic import FpgaNic, FpgaNicConfig
+from repro.fpga.slow_path import SlowPathExecutor
+from repro.net.link import Link
+from repro.net.device import Device
+from repro.pswitch.module_a import ReceiverMode
+from repro.pswitch.packets import PTYPE_SCHE, make_data, make_info, make_ack, make_sche
+from repro.pswitch.switch import MarlinSwitch, MarlinSwitchConfig
+from repro.sim import Simulator
+from repro.units import MICROSECOND, MS, US
+
+
+class TestEventGenerator:
+    def test_fires_and_dispatches(self):
+        sim = Simulator()
+        fired = []
+        gen = EventGenerator(sim, lambda f, t: fired.append((f, t, sim.now)))
+        gen.arm(1, 0, 500)
+        sim.run(until_ps=1000)
+        assert fired == [(1, 0, 500)]
+
+    def test_rearm_extends(self):
+        sim = Simulator()
+        fired = []
+        gen = EventGenerator(sim, lambda f, t: fired.append(sim.now))
+        gen.arm(1, 0, 500)
+        sim.at(300, gen.arm, 1, 0, 500)
+        sim.run(until_ps=2000)
+        assert fired == [800]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        gen = EventGenerator(sim, lambda f, t: fired.append(1))
+        gen.arm(1, 0, 500)
+        gen.cancel(1, 0)
+        sim.run(until_ps=2000)
+        assert fired == []
+
+    def test_per_timer_independence(self):
+        sim = Simulator()
+        fired = []
+        gen = EventGenerator(sim, lambda f, t: fired.append(t))
+        gen.arm(1, 0, 100)
+        gen.arm(1, 1, 200)
+        sim.run(until_ps=300)
+        assert fired == [0, 1]
+
+    def test_forget_flow(self):
+        sim = Simulator()
+        fired = []
+        gen = EventGenerator(sim, lambda f, t: fired.append(f))
+        gen.arm(1, 0, 100)
+        gen.arm(2, 0, 100)
+        gen.forget_flow(1)
+        sim.run(until_ps=300)
+        assert fired == [2]
+        assert not gen.armed(1, 0)
+
+
+class TestSlowPathExecutor:
+    def test_executes_with_latency(self):
+        sim = Simulator()
+        executor = SlowPathExecutor(sim, cycles=100)
+        alg = Dctcp()
+        slow = alg.initial_slow()
+        executor.submit(alg, 1, AlphaUpdateEvent(acked=10, marked=10), None, slow)
+        assert slow.alpha == 1.0  # not yet
+        sim.run()
+        assert slow.alpha < 1.0 or slow.alpha == pytest.approx(1.0)
+        assert executor.events_processed == 1
+        assert sim.now == executor.latency_ps
+
+    def test_overrun_detection(self):
+        sim = Simulator()
+        executor = SlowPathExecutor(sim, cycles=1000)
+        alg = Dctcp()
+        slow = alg.initial_slow()
+        executor.submit(alg, 1, AlphaUpdateEvent(acked=1, marked=0), None, slow)
+        executor.submit(alg, 1, AlphaUpdateEvent(acked=1, marked=0), None, slow)
+        assert executor.overruns == 1
+
+    def test_distinct_flows_no_overrun(self):
+        sim = Simulator()
+        executor = SlowPathExecutor(sim, cycles=1000)
+        alg = Dctcp()
+        executor.submit(alg, 1, AlphaUpdateEvent(acked=1, marked=0), None, alg.initial_slow())
+        executor.submit(alg, 2, AlphaUpdateEvent(acked=1, marked=0), None, alg.initial_slow())
+        assert executor.overruns == 0
+
+    def test_rate_update_callback(self):
+        sim = Simulator()
+        seen = []
+
+        class SlowCC(Reno):
+            name = "test-slowcc"
+
+            def slow_path(self, event, cust, slow):
+                return 42.0
+
+        executor = SlowPathExecutor(
+            sim, cycles=10, on_rate_update=lambda f, v: seen.append((f, v))
+        )
+        executor.submit(SlowCC(), 3, "ev", None, None)
+        sim.run()
+        assert seen == [(3, 42.0)]
+
+
+class Sink(Device):
+    def __init__(self, sim, name=None):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, port):
+        self.received.append((self.sim.now, packet))
+
+
+class TestFpgaNicUnit:
+    def build(self, algorithm=None, **cfg_kwargs):
+        sim = Simulator()
+        algorithm = algorithm if algorithm is not None else Reno()
+        cfg = FpgaNicConfig(n_test_ports=2, **cfg_kwargs)
+        nic = FpgaNic(sim, algorithm, cfg)
+        sink = Sink(sim, "sink")
+        Link(nic.port, sink.add_port(), delay_ps=0)
+        return sim, nic, sink
+
+    def test_start_flow_emits_sche(self):
+        sim, nic, sink = self.build()
+        nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=10)
+        sim.run(until_ps=50 * US)  # below the RTO
+        sches = [p for _, p in sink.received if p.ptype == PTYPE_SCHE]
+        assert len(sches) == 1  # initial cwnd 1: exactly one packet in flight
+        assert sches[0].psn == 0
+        assert sches[0].meta["egress_port"] == 0
+
+    def test_info_advances_flow(self):
+        sim, nic, sink = self.build()
+        flow = nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=10)
+        sim.run(until_ps=1 * US)
+        data = make_data(flow.flow_id, 0, src_addr=1, dst_addr=2, frame_bytes=1024, tx_tstamp_ps=0)
+        ack = make_ack(data, 1)
+        info = make_info(ack, 0)
+        nic.receive(info, nic.port)
+        sim.run(until_ps=50 * US)  # below the RTO
+        assert flow.una == 1
+        assert flow.cwnd_or_rate == 2.0  # slow-start growth
+
+    def test_completion_callback_and_fct(self):
+        sim, nic, sink = self.build()
+        done = []
+        nic.on_complete(done.append)
+        flow = nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=3)
+        sim.run(until_ps=1 * US)
+        data = make_data(flow.flow_id, 2, src_addr=1, dst_addr=2, frame_bytes=1024, tx_tstamp_ps=0)
+        info = make_info(make_ack(data, 3), 0)
+        nic.receive(info, nic.port)
+        sim.run(until_ps=1 * MS)
+        assert done and done[0].flow_id == flow.flow_id
+        assert flow.finished and flow.fct_ps >= 0
+        assert nic.read_counters()["flows_completed"] == 1
+
+    def test_unknown_flow_info_counted(self):
+        sim, nic, sink = self.build()
+        data = make_data(99, 0, src_addr=1, dst_addr=2, frame_bytes=1024, tx_tstamp_ps=0)
+        info = make_info(make_ack(data, 1), 0)
+        nic.receive(info, nic.port)
+        sim.run(until_ps=1 * MS)
+        assert nic.read_counters()["infos_unknown_flow"] == 1
+
+    def test_bad_port_index_rejected(self):
+        sim, nic, sink = self.build()
+        with pytest.raises(ConfigError):
+            nic.start_flow(port_index=5, src_addr=1, dst_addr=2, size_packets=1)
+
+    def test_bad_size_rejected(self):
+        sim, nic, sink = self.build()
+        with pytest.raises(ConfigError):
+            nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=0)
+
+    def test_duplicate_flow_id_rejected(self):
+        sim, nic, sink = self.build()
+        nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=1, flow_id=7)
+        with pytest.raises(ConfigError):
+            nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=1, flow_id=7)
+
+    def test_rto_fires_without_feedback(self):
+        sim, nic, sink = self.build(algorithm=Reno(rto_ps=100 * US))
+        flow = nic.start_flow(port_index=0, src_addr=1, dst_addr=2, size_packets=10)
+        sim.run(until_ps=1 * MS)
+        assert nic.read_counters()["timeouts_fired"] >= 1
+        assert flow.cwnd_or_rate == 1.0
+
+    def test_delayed_start(self):
+        sim, nic, sink = self.build()
+        flow = nic.start_flow(
+            port_index=0, src_addr=1, dst_addr=2, size_packets=5, start_at_ps=500 * US
+        )
+        sim.run(until_ps=100 * US)
+        assert not flow.started
+        sim.run(until_ps=600 * US)
+        assert flow.started
+        assert flow.start_ps == 500 * US
+
+    def test_frequency_warnings_for_slow_cc(self):
+        from repro.cc import Cubic
+
+        sim, nic, sink = self.build(algorithm=Cubic())
+        assert nic.frequency_warnings  # ~100 cycles > 27-cycle budget
+
+
+class TestMarlinSwitchUnit:
+    def build(self, receiver_mode=ReceiverMode.TCP):
+        sim = Simulator()
+        cfg = MarlinSwitchConfig(n_test_ports=2, receiver_mode=receiver_mode)
+        switch = MarlinSwitch(sim, cfg)
+        fpga_sink = Sink(sim, "fpga")
+        Link(switch.fpga_port, fpga_sink.add_port(), delay_ps=0)
+        net_sinks = []
+        for port in switch.test_ports:
+            sink = Sink(sim, f"net{port.index}")
+            Link(port, sink.add_port(), delay_ps=0)
+            net_sinks.append(sink)
+        return sim, switch, fpga_sink, net_sinks
+
+    def test_sche_in_data_out(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        sche = make_sche(1, 0, 1, src_addr=10, dst_addr=20, frame_bytes=1024)
+        switch.receive(sche, switch.fpga_port)
+        sim.run(until_ps=1 * MS)
+        datas = [p for _, p in net_sinks[1].received if p.ptype == "DATA"]
+        assert len(datas) == 1
+        assert datas[0].src == 10 and datas[0].dst == 20
+
+    def test_sche_on_wrong_port_rejected(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        sche = make_sche(1, 0, 0, src_addr=1, dst_addr=2, frame_bytes=1024)
+        with pytest.raises(ConfigError):
+            switch.receive(sche, switch.test_ports[0])
+
+    def test_data_in_ack_out_same_port(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        data = make_data(1, 0, src_addr=10, dst_addr=20, frame_bytes=1024, tx_tstamp_ps=0)
+        switch.receive(data, switch.test_ports[1])
+        sim.run(until_ps=1 * MS)
+        acks = [p for _, p in net_sinks[1].received if p.ptype == "ACK"]
+        assert len(acks) == 1
+        assert acks[0].psn == 1
+
+    def test_ack_in_info_out_fpga_port(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        data = make_data(1, 0, src_addr=10, dst_addr=20, frame_bytes=1024, tx_tstamp_ps=5)
+        ack = make_ack(data, 1)
+        switch.receive(ack, switch.test_ports[0])
+        sim.run(until_ps=1 * MS)
+        infos = [p for _, p in fpga_sink.received if p.ptype == "INFO"]
+        assert len(infos) == 1
+        assert infos[0].meta["rx_port"] == 0
+
+    def test_pipeline_latency_applied(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        data = make_data(1, 0, src_addr=10, dst_addr=20, frame_bytes=1024, tx_tstamp_ps=0)
+        switch.receive(data, switch.test_ports[0])
+        sim.run(until_ps=1 * MS)
+        t, _ = net_sinks[0].received[0]
+        assert t >= switch.config.pipeline_latency_ps
+
+    def test_counters(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        sche = make_sche(1, 0, 0, src_addr=10, dst_addr=20, frame_bytes=1024)
+        switch.receive(sche, switch.fpga_port)
+        sim.run(until_ps=1 * MS)
+        counters = switch.read_counters()
+        assert counters["sche_accepted"] == 1
+        assert counters["data_generated"] == 1
+
+    def test_unknown_ptype_counted(self):
+        sim, switch, fpga_sink, net_sinks = self.build()
+        from repro.net.packet import Packet
+
+        switch.receive(Packet("WEIRD", 1, 2, 64), switch.test_ports[0])
+        assert switch.unknown_packets == 1
+
+    def test_allocation_uses_paper_optimum(self):
+        sim = Simulator()
+        switch = MarlinSwitch(sim, MarlinSwitchConfig(template_bytes=1024))
+        assert switch.n_test_ports == 12
+        assert switch.allocation.data_throughput_bps == 1_200_000_000_000

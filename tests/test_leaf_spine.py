@@ -1,0 +1,173 @@
+"""Leaf-spine fabrics, ECMP hashing, and tester-over-fabric runs."""
+
+import pytest
+
+from repro import TestConfig
+from repro.core.tester import MarlinTester
+from repro.errors import ConfigError
+from repro.measure.fairness import jain_index
+from repro.net.leaf_spine import (
+    attach_endpoint,
+    build_leaf_spine,
+    wire_tester_leaf_spine,
+)
+from repro.net.packet import Packet
+from repro.net.switch import NetworkSwitch
+from repro.net.device import Device
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.units import GBPS, MS, US
+
+
+class Sink(Device):
+    def __init__(self, sim, name=None):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, port):
+        self.received.append(packet)
+
+
+class TestEcmpRouting:
+    def build(self, n_paths=4):
+        sim = Simulator()
+        switch = NetworkSwitch(sim, "sw")
+        ingress = Sink(sim, "in")
+        Link(ingress.add_port(), switch.add_ecn_port(), delay_ps=0)
+        sinks = []
+        group = []
+        for i in range(n_paths):
+            port = switch.add_ecn_port()
+            sink = Sink(sim, f"path{i}")
+            Link(port, sink.add_port(), delay_ps=0)
+            group.append(port)
+            sinks.append(sink)
+        switch.set_ecmp_route(9, group)
+        return sim, switch, sinks
+
+    def test_flow_sticks_to_one_path(self):
+        sim, switch, sinks = self.build()
+        for psn in range(20):
+            switch.receive(Packet("DATA", 1, 9, 64, flow_id=77, psn=psn), None)
+        sim.run()
+        used = [i for i, sink in enumerate(sinks) if sink.received]
+        assert len(used) == 1
+        assert len(sinks[used[0]].received) == 20
+
+    def test_many_flows_spread_over_paths(self):
+        sim, switch, sinks = self.build(n_paths=4)
+        for flow in range(64):
+            switch.receive(Packet("DATA", 1, 9, 64, flow_id=flow, psn=0), None)
+        sim.run()
+        counts = [len(sink.received) for sink in sinks]
+        assert all(count > 0 for count in counts)  # every path used
+        assert max(counts) <= 3 * min(counts) + 4  # roughly balanced
+
+    def test_hash_deterministic(self):
+        sim1, switch1, sinks1 = self.build()
+        sim2, switch2, sinks2 = self.build()
+        for switch, sim in ((switch1, sim1), (switch2, sim2)):
+            switch.receive(Packet("DATA", 5, 9, 64, flow_id=123, psn=0), None)
+            sim.run()
+        path1 = [i for i, s in enumerate(sinks1) if s.received]
+        path2 = [i for i, s in enumerate(sinks2) if s.received]
+        assert path1 == path2
+
+    def test_empty_group_rejected(self):
+        switch = NetworkSwitch(Simulator())
+        with pytest.raises(ConfigError):
+            switch.set_ecmp_route(1, [])
+
+    def test_foreign_port_rejected(self):
+        sim = Simulator()
+        switch = NetworkSwitch(sim)
+        other = Sink(sim)
+        with pytest.raises(ConfigError):
+            switch.set_ecmp_route(1, [other.add_port()])
+
+
+class TestFabricConstruction:
+    def test_mesh_shape(self):
+        fabric = build_leaf_spine(Simulator(), 3, 2)
+        assert fabric.n_leaves == 3 and fabric.n_spines == 2
+        for leaf in fabric.leaves:
+            assert len(leaf.ports) == 2  # one uplink per spine
+        for spine in fabric.spines:
+            assert len(spine.ports) == 3  # one downlink per leaf
+
+    def test_attach_endpoint_installs_routes(self):
+        sim = Simulator()
+        fabric = build_leaf_spine(sim, 2, 2)
+        host = Sink(sim, "h")
+        address = attach_endpoint(fabric, 0, host.add_port())
+        assert fabric.leaf_of(address) == 0
+        # Owning leaf routes directly; spines route down to leaf 0.
+        assert fabric.leaves[0].route_for(address) is not None
+        for spine in fabric.spines:
+            assert spine.route_for(address) is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            build_leaf_spine(Simulator(), 0, 1)
+        fabric = build_leaf_spine(Simulator(), 1, 1)
+        with pytest.raises(ConfigError):
+            fabric.leaf_of(999)
+        host = Sink(fabric.topology.sim, "h")
+        with pytest.raises(ConfigError):
+            attach_endpoint(fabric, 5, host.add_port())
+
+
+class TestTesterOverFabric:
+    def deploy(self, n_ports=4, n_leaves=2, n_spines=2, alg="dcqcn", **cc):
+        sim = Simulator()
+        tester = MarlinTester(
+            sim, TestConfig(cc_algorithm=alg, n_test_ports=n_ports, cc_params=cc)
+        )
+        fabric = wire_tester_leaf_spine(sim, tester, n_leaves, n_spines)
+        return sim, tester, fabric
+
+    def test_cross_leaf_flow_completes(self):
+        sim, tester, fabric = self.deploy()
+        # Port 0 on leaf 0 -> port 1 on leaf 1: crosses the spine mesh.
+        flow = tester.start_flow(port_index=0, dst_port_index=1, size_packets=2000)
+        sim.run(until_ps=5 * MS)
+        assert flow.finished
+        assert sum(fabric.spine_load()) > 0
+
+    def test_same_leaf_flow_stays_local(self):
+        sim, tester, fabric = self.deploy(n_ports=4, n_leaves=2)
+        # Ports 0 and 2 both land on leaf 0 (round-robin).
+        flow = tester.start_flow(port_index=0, dst_port_index=2, size_packets=500)
+        sim.run(until_ps=3 * MS)
+        assert flow.finished
+        assert sum(fabric.spine_load()) == 0
+
+    def test_cross_leaf_incast_converges(self):
+        """3 senders on leaf 0 incast one receiver on leaf 1: congestion
+        forms at leaf 1's endpoint port; CC shares it fairly."""
+        sim, tester, fabric = self.deploy(n_ports=8, n_leaves=2, alg="dcqcn")
+        # Even ports -> leaf 0, odd -> leaf 1.
+        sampler = tester.enable_rate_sampling(period_ps=500 * US)
+        for src in (0, 2, 4):
+            tester.start_flow(port_index=src, dst_port_index=1, size_packets=10**9)
+        sim.run(until_ps=8 * MS)
+        rates = [
+            r for n, r in sampler.samples[-1].rates_bps.items()
+            if n.startswith("flow")
+        ]
+        assert len(rates) == 3
+        assert jain_index(rates) > 0.9
+        assert sum(rates) >= 0.8 * 100 * GBPS
+
+    def test_spines_share_multi_flow_load(self):
+        """Many cross-leaf flows spread across both spines via ECMP."""
+        sim, tester, fabric = self.deploy(n_ports=4, n_leaves=2, n_spines=2)
+        for i in range(8):
+            tester.start_flow(
+                port_index=0 if i % 2 == 0 else 2,  # leaf 0 sources
+                dst_port_index=1 if i % 2 == 0 else 3,  # leaf 1 sinks
+                size_packets=300,
+            )
+        sim.run(until_ps=10 * MS)
+        load = fabric.spine_load()
+        assert all(count > 0 for count in load)

@@ -1,0 +1,131 @@
+"""Measurement layer: rate meters, FCT stats, Jain index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measure import FctCollector, RateMeter, ThroughputSampler, cdf_points, jain_index
+from repro.sim import Simulator
+from repro.units import MICROSECOND, SECOND
+
+
+class TestRateMeter:
+    def test_window_rate(self):
+        meter = RateMeter()
+        meter.count(12_500)  # 100,000 bits
+        rate = meter.take_window_bps(MICROSECOND)
+        assert rate == pytest.approx(1e11)  # 100 kbit in 1 us = 100 Gbps
+
+    def test_window_resets(self):
+        meter = RateMeter()
+        meter.count(1000)
+        meter.take_window_bps(MICROSECOND)
+        assert meter.take_window_bps(MICROSECOND) == 0.0
+        assert meter.total_bytes == 1000
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            RateMeter().take_window_bps(0)
+
+
+class TestThroughputSampler:
+    def test_sampling_series(self):
+        sim = Simulator()
+        sampler = ThroughputSampler(sim, period_ps=1000)
+        sampler.start()
+        meter = sampler.meter("f1")
+        sim.at(100, meter.count, 125)  # 1000 bits in window 1
+        sim.at(1500, meter.count, 250)  # 2000 bits in window 2
+        sim.run(until_ps=2500)
+        times, rates = sampler.series("f1")
+        assert times == [1000, 2000]
+        assert rates[0] == pytest.approx(1000 * SECOND / 1000)
+        assert rates[1] == pytest.approx(2 * rates[0])
+
+    def test_total_series(self):
+        sim = Simulator()
+        sampler = ThroughputSampler(sim, period_ps=1000)
+        sampler.start()
+        sampler.meter("a").count(125)
+        sampler.meter("b").count(125)
+        sim.run(until_ps=1000)
+        _, totals = sampler.total_series()
+        assert totals[0] == pytest.approx(2 * 125 * 8 * SECOND / 1000)
+
+    def test_stop(self):
+        sim = Simulator()
+        sampler = ThroughputSampler(sim, period_ps=1000)
+        sampler.start()
+        sim.at(1500, sampler.stop)
+        sim.run(until_ps=5000)
+        assert len(sampler.samples) == 1
+
+
+class TestFctCollector:
+    def test_stats(self):
+        fct = FctCollector()
+        for i, duration_us in enumerate([10, 20, 30, 40]):
+            fct.add(i, 10, 10_000, 0, duration_us * MICROSECOND)
+        stats = fct.stats()
+        assert stats.count == 4
+        assert stats.mean_us == pytest.approx(25.0)
+        assert stats.max_us == pytest.approx(40.0)
+
+    def test_short_flow_subset(self):
+        fct = FctCollector()
+        fct.add(1, 10, 10_000, 0, 10 * MICROSECOND)
+        fct.add(2, 1000, 1_000_000, 0, 500 * MICROSECOND)
+        short = fct.short_flow_stats(cutoff_bytes=100_000)
+        assert short.count == 1
+        assert short.mean_us == pytest.approx(10.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            FctCollector().add(1, 1, 1, 100, 50)
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError):
+            FctCollector().stats()
+
+
+class TestCdfPoints:
+    def test_sorted_and_normalized(self):
+        values, probs = cdf_points([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probs.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestJainIndex:
+    def test_equal_rates_give_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_gives_1_over_n(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0])
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, rates):
+        index = jain_index(rates)
+        assert 1.0 / len(rates) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(
+        st.floats(min_value=0.001, max_value=1e6),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariant(self, rate, n):
+        assert jain_index([rate] * n) == pytest.approx(1.0)

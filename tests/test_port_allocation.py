@@ -1,0 +1,85 @@
+"""Port allocation and the Section 4.3 arithmetic."""
+
+import pytest
+
+from repro.errors import PortAllocationError
+from repro.pswitch.port_allocation import (
+    PortAllocation,
+    allocate_ports,
+    amplification_factor,
+)
+from repro.units import RATE_100G, TBPS
+
+
+class TestAmplificationFactor:
+    def test_mtu_1024_gives_12(self):
+        assert amplification_factor(1024) == 12
+
+    def test_mtu_1518_gives_18(self):
+        assert amplification_factor(1518) == 18
+
+    def test_crossover_to_13_at_1072(self):
+        # wire_bits(1072) = 8736 = exactly 13 x 672, so the factor crosses
+        # to 13 at MTU 1072 (the paper's "greater than 1072 bytes").
+        assert amplification_factor(1072) == 13
+        assert amplification_factor(1071) == 12
+
+    def test_small_frames_amplify_little(self):
+        # 148 wire-bytes vs 84 wire-bytes: floor(148/84) = 1.
+        assert amplification_factor(128) == 1
+
+
+class TestAllocatePorts:
+    def test_paper_optimum_at_1024(self):
+        alloc = allocate_ports(1024)
+        assert alloc.test_ports == 12
+        assert alloc.data_throughput_bps == 1_200_000_000_000
+        assert alloc.reserved_ports == 3
+        assert alloc.total_ports == 15  # one port left spare in the pipeline
+
+    def test_1518_capped_by_pipeline(self):
+        alloc = allocate_ports(1518)
+        assert alloc.amplification_factor == 18
+        assert alloc.test_ports == 13  # 16 - 3 reserved
+        assert alloc.data_throughput_bps == 1_300_000_000_000
+
+    def test_receiver_logic_port_reserved(self):
+        alloc = allocate_ports(1518, receiver_logic_on_fpga=True)
+        assert alloc.receiver_logic_ports == 1
+        assert alloc.test_ports == 12
+        assert alloc.reserved_ports == 4
+
+    def test_requested_ports_honored(self):
+        alloc = allocate_ports(1024, requested_test_ports=4)
+        assert alloc.test_ports == 4
+        assert alloc.data_throughput_bps == 400_000_000_000
+
+    def test_requested_beyond_amplification_rejected(self):
+        with pytest.raises(PortAllocationError):
+            allocate_ports(1024, requested_test_ports=13)
+
+    def test_requested_beyond_pipeline_rejected(self):
+        with pytest.raises(PortAllocationError):
+            allocate_ports(1518, requested_test_ports=14)
+
+    def test_requested_zero_rejected(self):
+        with pytest.raises(PortAllocationError):
+            allocate_ports(1024, requested_test_ports=0)
+
+    def test_mtu_too_small_rejected(self):
+        with pytest.raises(PortAllocationError):
+            allocate_ports(64)
+
+    def test_tiny_pipeline_rejected(self):
+        with pytest.raises(PortAllocationError):
+            allocate_ports(1024, pipeline_ports=3)
+
+    def test_rates_exposed(self):
+        alloc = allocate_ports(1024)
+        assert alloc.sche_pps == pytest.approx(148.8e6, rel=0.001)
+        assert alloc.data_pps_per_port == pytest.approx(11.97e6, rel=0.001)
+
+    def test_headline_claim(self):
+        """One pipeline + one 100 G FPGA port = 1.2 Tbps of CC traffic."""
+        alloc = allocate_ports(1024, port_rate_bps=RATE_100G)
+        assert alloc.data_throughput_bps == pytest.approx(1.2 * TBPS)

@@ -1,0 +1,182 @@
+"""System-level property tests: determinism, conservation, and
+randomized robustness (hypothesis-driven where a strategy fits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ControlPlane, TestConfig
+from repro.pswitch.module_a import ReceiverLogic, ReceiverMode
+from repro.pswitch.packets import make_data
+from repro.units import MS, US
+
+
+def deploy(**cfg):
+    cp = ControlPlane()
+    tester = cp.deploy(TestConfig(**cfg))
+    cp.wire_loopback_fabric()
+    return cp, tester
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("alg", ["dctcp", "dcqcn"])
+    def test_counters_identical_across_runs(self, alg):
+        def fingerprint():
+            cp, tester = deploy(cc_algorithm=alg, n_test_ports=4, flows_per_port=2)
+            cp.start_flows(size_packets=800, pattern="fan_in")
+            cp.run(duration_ps=3 * MS)
+            counters = tuple(sorted(cp.read_measurements().items()))
+            fcts = tuple(r.fct_ps for r in tester.fct.records)
+            return counters, fcts, cp.sim.events_executed
+
+        assert fingerprint() == fingerprint()
+
+    def test_seeded_workload_identical(self):
+        from repro.workload import ClosedLoopGenerator, FlowSlot, websearch
+
+        def fcts():
+            cp, tester = deploy(cc_algorithm="dcqcn", n_test_ports=2)
+            generator = ClosedLoopGenerator(
+                tester,
+                websearch(),
+                [FlowSlot(0, 1)],
+                rng=np.random.default_rng(123),
+                stop_after_flows=8,
+            )
+            generator.start()
+            cp.run(duration_ps=100 * MS)
+            return [record.fct_ps for record in tester.fct.records]
+
+        assert fcts() == fcts()
+
+
+class TestConservation:
+    def test_packet_conservation_lossless(self):
+        """Without network loss: every SCHE becomes a DATA, every DATA an
+        ACK, every ACK an INFO, and all INFOs reach the FPGA."""
+        cp, tester = deploy(cc_algorithm="dctcp", n_test_ports=2)
+        cp.start_flows(size_packets=1500, pattern="pairs")
+        cp.run(duration_ps=5 * MS)
+        counters = cp.read_measurements()
+        assert counters["switch.sche_accepted"] == counters["switch.data_generated"]
+        assert counters["switch.data_generated"] == counters["switch.acks_generated"]
+        assert counters["switch.acks_generated"] == counters["switch.infos_generated"]
+        assert (
+            counters["fpga.infos_processed"] + counters["fpga.infos_unknown_flow"]
+            == counters["switch.infos_generated"]
+        )
+
+    def test_flow_accounting(self):
+        """una <= nxt <= size for every flow at all observation points."""
+        cp, tester = deploy(cc_algorithm="dctcp", n_test_ports=2, flows_per_port=3)
+        cp.start_flows(size_packets=2000, pattern="pairs")
+        for _ in range(20):
+            cp.run(duration_ps=200 * US)
+            for flow in tester.nic.flows.values():
+                assert 0 <= flow.una <= flow.size_packets
+                assert flow.una <= flow.nxt <= flow.size_packets
+
+    def test_fct_bounded_below_by_serialization(self):
+        """No flow can finish faster than its serialization time."""
+        cp, tester = deploy(cc_algorithm="dcqcn", n_test_ports=2)
+        cp.start_flows(size_packets=1000, pattern="pairs")
+        cp.run(duration_ps=3 * MS)
+        from repro.units import serialization_time_ps, RATE_100G
+
+        min_fct = 1000 * serialization_time_ps(1024, RATE_100G)
+        assert tester.fct.records[0].fct_ps >= min_fct
+
+
+class TestRandomLossRobustness:
+    @pytest.mark.parametrize("loss_pct,alg", [(1, "dctcp"), (1, "dcqcn"), (5, "dctcp")])
+    def test_flows_complete_under_random_loss(self, loss_pct, alg):
+        """Seeded random loss: CC recovers and all flows complete."""
+        params = (
+            {"rto_ps": 150 * US, "initial_ssthresh": 256.0}
+            if alg == "dctcp"
+            else {}
+        )
+        cp, tester = deploy(cc_algorithm=alg, n_test_ports=2, cc_params=params)
+        rng = np.random.default_rng(42)
+
+        def lossy(packet, port):
+            if packet.ptype == "DATA" and rng.random() < loss_pct / 100.0:
+                return False
+            return True
+
+        assert cp.fabric is not None
+        cp.fabric.packet_filter = lossy
+        cp.start_flows(size_packets=1000, pattern="pairs")
+        cp.run(duration_ps=60 * MS)
+        assert len(tester.fct) == 1
+
+    def test_ack_loss_recovered_by_cumulative_acks(self):
+        cp, tester = deploy(
+            cc_algorithm="dctcp",
+            n_test_ports=2,
+            cc_params={"rto_ps": 150 * US, "initial_ssthresh": 256.0},
+        )
+        rng = np.random.default_rng(7)
+
+        def lossy(packet, port):
+            if packet.ptype == "ACK" and rng.random() < 0.05:
+                return False
+            return True
+
+        cp.fabric.packet_filter = lossy
+        cp.start_flows(size_packets=1000, pattern="pairs")
+        cp.run(duration_ps=30 * MS)
+        assert len(tester.fct) == 1
+
+
+class TestReceiverProperties:
+    @given(
+        psns=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tcp_receiver_cumulative_ack_invariants(self, psns):
+        """For any arrival order: the cumulative ACK never decreases, and
+        it equals 1 + the largest contiguously delivered prefix."""
+        receiver = ReceiverLogic(ReceiverMode.TCP, ooo_capacity=128)
+        delivered = set()
+        last_ack = 0
+        for psn in psns:
+            data = make_data(1, psn, src_addr=1, dst_addr=2, frame_bytes=1024,
+                             tx_tstamp_ps=0)
+            ack = receiver.on_data(data, 0)[0]
+            delivered.add(psn)
+            expected = 0
+            while expected in delivered:
+                expected += 1
+            assert ack.psn == expected
+            assert ack.psn >= last_ack
+            last_ack = ack.psn
+
+    @given(
+        psns=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roce_receiver_go_back_n_invariants(self, psns):
+        """RoCE mode: expected PSN only advances on in-order arrivals and
+        never decreases; every OOO packet is dropped."""
+        receiver = ReceiverLogic(ReceiverMode.ROCE)
+        expected = 0
+        for psn in psns:
+            data = make_data(1, psn, src_addr=1, dst_addr=2, frame_bytes=1024,
+                             tx_tstamp_ps=0)
+            receiver.on_data(data, 0)
+            if psn == expected:
+                expected += 1
+            state = receiver.flow_state(1)
+            assert state.expected_psn == expected
+
+
+class TestStrictModes:
+    def test_strict_tester_runs_clean(self):
+        """strict=True raises on any internal loss/conflict; a correctly
+        frequency-controlled run must therefore complete silently."""
+        cp, tester = deploy(cc_algorithm="dctcp", n_test_ports=2, strict=True)
+        cp.start_flows(size_packets=1500, pattern="pairs")
+        cp.run(duration_ps=4 * MS)  # would raise on violation
+        assert len(tester.fct) == 1

@@ -1,0 +1,128 @@
+"""Register queues (Section 4.2 semantics) and pipeline resource budgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegisterQueueOverflow, ResourceExceededError
+from repro.pswitch.pipeline import (
+    MAX_SRAM_BLOCKS,
+    MAX_STAGES,
+    PipelineModel,
+    PipelineUsage,
+    SUPPORTED_DATAPLANE_OPS,
+    UNSUPPORTED_DATAPLANE_OPS,
+    marlin_dataplane_usage,
+)
+from repro.pswitch.registers import RegisterArray, RegisterQueue
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        arr = RegisterArray(8)
+        arr.write(3, 42)
+        assert arr.read(3) == 42
+        assert arr.reads == 1 and arr.writes == 1
+
+    def test_wraps_modulo_size(self):
+        arr = RegisterArray(4)
+        arr.write(5, "x")
+        assert arr.read(1) == "x"
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            RegisterArray(0)
+
+
+class TestRegisterQueue:
+    def test_fifo_semantics(self):
+        q = RegisterQueue(4)
+        for i in range(3):
+            q.enqueue(i)
+        assert [q.dequeue() for _ in range(3)] == [0, 1, 2]
+        assert q.dequeue() is None
+
+    def test_overflow_drops_and_counts(self):
+        q = RegisterQueue(2)
+        assert q.enqueue("a") and q.enqueue("b")
+        assert not q.enqueue("c")
+        assert q.overflows == 1
+        # The queue content is unchanged: "c" (the scheduled DATA) is lost.
+        assert [q.dequeue(), q.dequeue()] == ["a", "b"]
+
+    def test_strict_overflow_raises(self):
+        q = RegisterQueue(1, strict=True)
+        q.enqueue("a")
+        with pytest.raises(RegisterQueueOverflow):
+            q.enqueue("b")
+
+    def test_wraparound_reuse(self):
+        q = RegisterQueue(2)
+        for i in range(10):
+            assert q.enqueue(i)
+            assert q.dequeue() == i
+
+    def test_max_length_recorded(self):
+        q = RegisterQueue(8)
+        for i in range(5):
+            q.enqueue(i)
+        q.dequeue()
+        assert q.max_length == 5
+
+    @given(
+        ops=st.lists(
+            st.one_of(st.just("deq"), st.integers(min_value=0, max_value=999)),
+            max_size=200,
+        ),
+        capacity=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_model_fifo(self, ops, capacity):
+        """The register implementation behaves exactly like a bounded deque."""
+        q = RegisterQueue(capacity)
+        model = []
+        for op in ops:
+            if op == "deq":
+                expected = model.pop(0) if model else None
+                assert q.dequeue() == expected
+            else:
+                if len(model) < capacity:
+                    assert q.enqueue(op)
+                    model.append(op)
+                else:
+                    assert not q.enqueue(op)
+            assert len(q) == len(model)
+            assert q.full == (len(model) == capacity)
+
+
+class TestPipelineModel:
+    def test_marlin_program_fits_tofino(self):
+        """The paper's build: 12 ports, 65,536 flows, 4 stages, modest SRAM."""
+        pipeline = marlin_dataplane_usage(12, 128, 65_536)
+        assert pipeline.stages_used <= MAX_STAGES
+        assert pipeline.sram_blocks_used <= MAX_SRAM_BLOCKS
+        # The paper reports 58/960 SRAM blocks; our estimate is the same
+        # order of magnitude.
+        assert 20 <= pipeline.sram_blocks_used <= 120
+
+    def test_stage_budget_enforced(self):
+        pipeline = PipelineModel()
+        with pytest.raises(ResourceExceededError):
+            pipeline.add(PipelineUsage("huge", stages=13))
+
+    def test_sram_budget_enforced(self):
+        pipeline = PipelineModel()
+        with pytest.raises(ResourceExceededError):
+            pipeline.add(PipelineUsage("huge", sram_blocks=961))
+
+    def test_tcam_budget_enforced(self):
+        pipeline = PipelineModel()
+        with pytest.raises(ResourceExceededError):
+            pipeline.add(PipelineUsage("huge", tcam_blocks=289))
+
+    def test_cc_ops_not_supported_in_dataplane(self):
+        """Section 2.1: the switch cannot express CC algorithms."""
+        assert "register_rmw" in UNSUPPORTED_DATAPLANE_OPS
+        assert "mul" in UNSUPPORTED_DATAPLANE_OPS
+        assert "div" in UNSUPPORTED_DATAPLANE_OPS
+        assert not (SUPPORTED_DATAPLANE_OPS & UNSUPPORTED_DATAPLANE_OPS)

@@ -1,0 +1,68 @@
+"""The independent ns3-style DCTCP oracle."""
+
+import pytest
+
+from repro.reference.ns3_dctcp import run_reference_dctcp
+from repro.units import MICROSECOND
+
+
+class TestCleanRun:
+    def test_completes(self):
+        run = run_reference_dctcp(total_packets=500)
+        assert run.completed
+        assert run.packets_delivered >= 500
+        assert run.retransmissions == 0
+
+    def test_slow_start_doubles(self):
+        run = run_reference_dctcp(total_packets=2000, init_ssthresh=64.0)
+        # Window trajectory passes through the doubling sequence.
+        values = run.cwnd_values
+        for landmark in (2.0, 4.0, 8.0, 16.0, 32.0, 64.0):
+            assert any(abs(v - landmark) < 1e-9 for v in values)
+
+    def test_caps_at_ssthresh_then_linear(self):
+        run = run_reference_dctcp(total_packets=3000, init_ssthresh=16.0)
+        values = run.cwnd_values
+        above = [v for v in values if v > 16.0]
+        # Growth above ssthresh is sub-exponential (1/cwnd per ACK).
+        assert above
+        jumps = [b - a for a, b in zip(above, above[1:])]
+        assert max(jumps) <= 1.0 + 1e-9
+
+
+class TestLossResponse:
+    def test_fast_retransmit_halves_window(self):
+        run = run_reference_dctcp(
+            total_packets=3000, drop_psns={500}, init_ssthresh=64.0
+        )
+        assert run.completed
+        assert run.retransmissions >= 1
+
+    def test_multiple_losses(self):
+        run = run_reference_dctcp(
+            total_packets=4000, drop_psns={500, 2000}, init_ssthresh=64.0
+        )
+        assert run.completed
+        assert run.retransmissions >= 2
+
+
+class TestEcnResponse:
+    def test_marks_reduce_alpha_increase(self):
+        clean = run_reference_dctcp(total_packets=2000)
+        marked = run_reference_dctcp(
+            total_packets=2000, mark_psns=set(range(800, 900))
+        )
+        assert marked.completed
+        # Marked run keeps a higher alpha than the clean run at the end.
+        assert marked.alpha_values[-1] > clean.alpha_values[-1]
+
+    def test_alpha_decays_without_marks(self):
+        run = run_reference_dctcp(total_packets=3000, init_alpha=1.0)
+        assert run.alpha_values[-1] < 0.1
+
+    def test_ecn_cuts_window_not_psn(self):
+        run = run_reference_dctcp(
+            total_packets=2000, mark_psns=set(range(500, 520))
+        )
+        assert run.completed
+        assert run.retransmissions == 0  # ECN is not loss

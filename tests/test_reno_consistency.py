@@ -1,0 +1,91 @@
+"""Reno trace consistency: Marlin's Reno vs the reference simulator.
+
+With ECN marks disabled, the reference DCTCP sender degenerates to
+exactly NewReno (alpha never engages), giving an independent oracle for
+the Reno module too — the Figure 5 methodology applied to the paper's
+simplest algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ControlPlane, TestConfig
+from repro.reference.ns3_dctcp import run_reference_dctcp
+from repro.units import MS, US
+
+TOTAL = 3000
+DROPS = frozenset({900, 2100})
+
+
+def run_marlin_reno():
+    cp = ControlPlane()
+    tester = cp.deploy(
+        TestConfig(
+            cc_algorithm="reno",
+            n_test_ports=2,
+            trace_cc=True,
+            cc_params={"initial_ssthresh": 64.0, "initial_cwnd": 1.0},
+        )
+    )
+    cp.wire_loopback_fabric()
+    dropped = set()
+
+    def drop_filter(packet, port):
+        if (
+            packet.ptype == "DATA"
+            and packet.psn in DROPS
+            and packet.psn not in dropped
+            and not packet.meta.get("is_rtx")
+        ):
+            dropped.add(packet.psn)
+            return False
+        return True
+
+    cp.fabric.packet_filter = drop_filter
+    flow = tester.start_flow(port_index=0, dst_port_index=1, size_packets=TOTAL)
+    cp.run(duration_ps=20 * MS)
+    return tester, flow
+
+
+@pytest.fixture(scope="module")
+def runs():
+    tester, flow = run_marlin_reno()
+    reference = run_reference_dctcp(
+        total_packets=TOTAL,
+        drop_psns=DROPS,
+        mark_psns=frozenset(),  # no ECN: pure NewReno behaviour
+        rtt_ps=6 * US,
+    )
+    return tester, flow, reference
+
+
+class TestRenoConsistency:
+    def test_both_complete_with_same_recovery_count(self, runs):
+        tester, flow, reference = runs
+        assert flow.finished and reference.completed
+        assert flow.rtx_sent == reference.retransmissions == len(DROPS)
+
+    def test_fct_close(self, runs):
+        tester, flow, reference = runs
+        assert flow.fct_ps == pytest.approx(reference.finish_ps, rel=0.10)
+
+    def test_trajectory_deviation_small(self, runs):
+        tester, flow, reference = runs
+        mt, mv = tester.nic.logger.series(f"flow{flow.flow_id}", "cwnd_or_rate")
+        grid = np.linspace(0.02, 0.98, 150)
+        marlin = np.interp(grid, np.asarray(mt) / mt[-1], mv)
+        ref = np.interp(
+            grid,
+            np.asarray(reference.cwnd_times_ps) / reference.cwnd_times_ps[-1],
+            reference.cwnd_values,
+        )
+        deviation = float(np.mean(np.abs(marlin - ref) / np.maximum(ref, 1.0)))
+        assert deviation < 0.15
+
+    def test_no_alpha_activity_in_reno(self, runs):
+        """Sanity: Reno logs no slow-path (alpha) channel at all."""
+        tester, flow, reference = runs
+        assert tester.nic.logger.series(f"flow{flow.flow_id}.slow", "alpha") == (
+            [],
+            [],
+        )

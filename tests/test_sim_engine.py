@@ -1,0 +1,155 @@
+"""The discrete-event engine: ordering, determinism, cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(300, order.append, "c")
+        sim.at(100, order.append, "a")
+        sim.at(200, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.at(50, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(123, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [123]
+        assert sim.now == 123
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_after_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+    def test_call_now_runs_after_pending_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.call_now(lambda: order.append("now"))
+
+        sim.at(10, first)
+        sim.at(10, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "now"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.at(10, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.at(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+
+class TestRunControl:
+    def test_run_until_leaves_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.at(100, fired.append, "early")
+        sim.at(1000, fired.append, "late")
+        sim.run(until_ps=500)
+        assert fired == ["early"]
+        assert sim.now == 500
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until_ps=777)
+        assert sim.now == 777
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.at(i, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_from_within_event(self):
+        sim = Simulator()
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.at(1, stopper)
+        sim.at(2, fired.append, "never")
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5, fired.append, 1)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.at(1, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_event_counts(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(i, lambda: None)
+        assert sim.pending_events == 5
+        sim.run()
+        assert sim.events_executed == 5
+        assert sim.pending_events == 0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.after(10, chain, n + 1)
+
+        sim.at(0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 50

@@ -1,0 +1,78 @@
+"""RNG streams and the trace recorder."""
+
+from repro.sim import RngStreams, TraceRecorder
+
+
+class TestRngStreams:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(seed=7).stream("workload")
+        b = RngStreams(seed=7).stream("workload")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(seed=7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("x").random(5)
+        b = RngStreams(seed=2).stream("x").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams()
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_new_stream_does_not_perturb_existing(self):
+        streams_a = RngStreams(seed=3)
+        gen = streams_a.stream("main")
+        first = gen.random(3).tolist()
+
+        streams_b = RngStreams(seed=3)
+        streams_b.stream("other")  # created before "main" this time
+        assert streams_b.stream("main").random(3).tolist() == first
+
+
+class TestTraceRecorder:
+    def test_log_and_read_series(self):
+        trace = TraceRecorder()
+        trace.log(10, "cwnd", value=1.0)
+        trace.log(20, "cwnd", value=2.0)
+        times, values = trace.series("cwnd", "value")
+        assert times == [10, 20]
+        assert values == [1.0, 2.0]
+
+    def test_channels_sorted(self):
+        trace = TraceRecorder()
+        trace.log(0, "b")
+        trace.log(0, "a")
+        assert trace.channels() == ["a", "b"]
+
+    def test_missing_channel_is_empty(self):
+        trace = TraceRecorder()
+        assert trace.channel("nope") == []
+        assert trace.series("nope", "x") == ([], [])
+
+    def test_record_getitem(self):
+        trace = TraceRecorder()
+        trace.log(5, "c", alpha=0.5)
+        record = trace.channel("c")[0]
+        assert record["alpha"] == 0.5
+        assert record.time_ps == 5
+
+    def test_len_and_iter(self):
+        trace = TraceRecorder()
+        trace.log(1, "a", v=1)
+        trace.log(2, "b", v=2)
+        trace.log(3, "a", v=3)
+        assert len(trace) == 3
+        assert [r.time_ps for r in trace] == [1, 3, 2]  # grouped by channel
+
+    def test_series_skips_records_without_key(self):
+        trace = TraceRecorder()
+        trace.log(1, "c", x=1)
+        trace.log(2, "c", y=2)
+        times, values = trace.series("c", "x")
+        assert times == [1]
+        assert values == [1]

@@ -1,0 +1,124 @@
+"""Periodic timers and restartable timeouts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PeriodicTimer, Simulator, Timeout
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now), start=True)
+        sim.run(until_ps=550)
+        assert times == [100, 200, 300, 400, 500]
+        assert timer.fire_count == 5
+
+    def test_phase_offset(self):
+        sim = Simulator()
+        times = []
+        PeriodicTimer(sim, 100, lambda: times.append(sim.now), start=True, phase_ps=30)
+        sim.run(until_ps=400)
+        assert times == [130, 230, 330]
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now), start=True)
+        sim.at(250, timer.cancel)
+        sim.run(until_ps=1000)
+        assert times == [100, 200]
+        assert not timer.running
+
+    def test_set_period_takes_effect_next_cycle(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now), start=True)
+        sim.at(150, timer.set_period, 300)
+        sim.run(until_ps=900)
+        # 100 fires, 200 was already scheduled, then 500, 800.
+        assert times == [100, 200, 500, 800]
+
+    def test_callback_can_cancel_timer(self):
+        sim = Simulator()
+        count = []
+        timer = PeriodicTimer(sim, 10, lambda: (count.append(1), timer.cancel()))
+        timer.start()
+        sim.run(until_ps=100)
+        assert len(count) == 1
+
+    def test_rejects_nonpositive_period(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0, lambda: None)
+
+    def test_restart_resets_phase(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now))
+        timer.start()
+        sim.at(50, timer.start)  # restart mid-period
+        sim.run(until_ps=200)
+        assert times == [150]
+
+
+class TestTimeout:
+    def test_expires_once(self):
+        sim = Simulator()
+        fired = []
+        timeout = Timeout(sim, 500, lambda: fired.append(sim.now))
+        timeout.restart()
+        sim.run(until_ps=2000)
+        assert fired == [500]
+        assert timeout.expirations == 1
+        assert not timeout.armed
+
+    def test_restart_pushes_deadline(self):
+        sim = Simulator()
+        fired = []
+        timeout = Timeout(sim, 500, lambda: fired.append(sim.now))
+        timeout.restart()
+        sim.at(400, timeout.restart)
+        sim.run(until_ps=2000)
+        assert fired == [900]
+
+    def test_cancel_disarms(self):
+        sim = Simulator()
+        fired = []
+        timeout = Timeout(sim, 500, lambda: fired.append(1))
+        timeout.restart()
+        sim.at(100, timeout.cancel)
+        sim.run(until_ps=2000)
+        assert fired == []
+
+    def test_restart_with_new_duration(self):
+        sim = Simulator()
+        fired = []
+        timeout = Timeout(sim, 500, lambda: fired.append(sim.now))
+        timeout.restart(duration_ps=50)
+        sim.run(until_ps=2000)
+        assert fired == [50]
+        assert timeout.duration_ps == 50
+
+    def test_rearm_after_expiry(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timeout.restart()
+
+        timeout = Timeout(sim, 100, on_fire)
+        timeout.restart()
+        sim.run(until_ps=1000)
+        assert fired == [100, 200, 300]
+
+    def test_rejects_nonpositive_duration(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Timeout(sim, 0, lambda: None)
+        timeout = Timeout(sim, 10, lambda: None)
+        with pytest.raises(SimulationError):
+            timeout.restart(duration_ps=-5)

@@ -1,0 +1,64 @@
+"""Operator sweep utilities: lossless-rate search and CC parameter grids."""
+
+import pytest
+
+from repro.core.sweep import cc_parameter_sweep, max_lossless_rate_bps
+from repro.errors import ConfigError
+from repro.units import GBPS, MS, RATE_100G
+
+
+class TestMaxLosslessRate:
+    def test_finds_bottleneck_rate(self):
+        rate = max_lossless_rate_bps(
+            bottleneck_rate_bps=RATE_100G,
+            duration_ps=1 * MS,
+            tolerance_bps=2 * GBPS,
+        )
+        # The answer is the port's line rate (the queue absorbs nothing
+        # sustained beyond it): within tolerance + framing margin.
+        assert 0.93 * RATE_100G <= rate <= 1.05 * RATE_100G
+
+    def test_scales_with_bottleneck(self):
+        rate = max_lossless_rate_bps(
+            bottleneck_rate_bps=10 * GBPS,
+            duration_ps=1 * MS,
+            tolerance_bps=1 * GBPS,
+        )
+        assert 0.85 * 10 * GBPS <= rate <= 1.1 * 10 * GBPS
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigError):
+            max_lossless_rate_bps(tolerance_bps=0)
+
+
+class TestCcParameterSweep:
+    def test_grid_order_and_metrics(self):
+        points = cc_parameter_sweep(
+            "dcqcn",
+            [{"rate_ai_bps": 1 * GBPS}, {"rate_ai_bps": 5 * GBPS}],
+            n_senders=2,
+            duration_ps=3 * MS,
+        )
+        assert len(points) == 2
+        assert points[0].params == {"rate_ai_bps": 1 * GBPS}
+        for point in points:
+            assert point.throughput_bps > 0.7 * RATE_100G
+            assert 0.5 < point.fairness <= 1.0
+            assert point.peak_queue_bytes > 0
+
+    def test_dctcp_g_sweep_shows_queue_tradeoff(self):
+        """Larger g reacts faster -> different queue occupancy profile;
+        the sweep surfaces the difference operators tune for."""
+        points = cc_parameter_sweep(
+            "dctcp",
+            [{"g": 1.0 / 64.0}, {"g": 1.0 / 4.0}],
+            n_senders=2,
+            duration_ps=4 * MS,
+            base_params={"initial_ssthresh": 1024.0},
+        )
+        queues = [point.peak_queue_bytes for point in points]
+        assert queues[0] != queues[1]  # the knob observably matters
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            cc_parameter_sweep("dctcp", [])

@@ -1,0 +1,101 @@
+"""Units and line-rate arithmetic — the paper's Section 3.3 constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_second_is_1e12_ps(self):
+        assert units.SECOND == 10**12
+
+    def test_seconds_roundtrip(self):
+        assert units.seconds(units.SECOND) == 1.0
+        assert units.seconds(500 * units.MS) == 0.5
+
+    def test_microseconds(self):
+        assert units.microseconds(3 * units.US) == 3.0
+
+    def test_aliases(self):
+        assert units.NS == units.NANOSECOND
+        assert units.US == units.MICROSECOND
+        assert units.MS == units.MILLISECOND
+
+
+class TestWireBits:
+    def test_min_frame(self):
+        # 64 B + 20 B overhead = 672 bits.
+        assert units.wire_bits(64) == 672
+
+    def test_mtu_1518(self):
+        assert units.wire_bits(1518) == (1518 + 20) * 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wire_bits(0)
+        with pytest.raises(ValueError):
+            units.wire_bits(-5)
+
+
+class TestLineRate:
+    def test_sche_rate_is_148_8_mpps(self):
+        # The paper's 148.8 Mpps for 64 B packets on 100 Gbps.
+        pps = units.line_rate_pps(64)
+        assert pps == pytest.approx(148.8e6, rel=0.001)
+
+    def test_data_rate_1024_is_11_97_mpps(self):
+        pps = units.line_rate_pps(1024)
+        assert pps == pytest.approx(11.97e6, rel=0.001)
+
+    def test_data_rate_1518_is_8_127_mpps(self):
+        pps = units.line_rate_pps(1518)
+        assert pps == pytest.approx(8.127e6, rel=0.001)
+
+    def test_serialization_time_64b(self):
+        # 672 bits at 100 Gbps = 6.72 ns = 6720 ps.
+        assert units.serialization_time_ps(64, units.RATE_100G) == 6720
+
+    def test_serialization_rounds_up(self):
+        # 1 byte at 3 bps: 21*8 bits -> ceil(168e12/3).
+        assert units.serialization_time_ps(1, 3) == 56 * units.SECOND
+
+    def test_serialization_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_time_ps(64, 0)
+
+    def test_interval_matches_serialization(self):
+        assert units.line_rate_interval_ps(1024) == units.serialization_time_ps(
+            1024, units.RATE_100G
+        )
+
+
+class TestGoodput:
+    def test_full_payload(self):
+        bps = units.goodput_bps(1024, 1024)
+        assert bps == pytest.approx(units.line_rate_pps(1024) * 1024 * 8)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ValueError):
+            units.goodput_bps(64, 65)
+
+
+class TestFpgaClock:
+    def test_cycle_duration(self):
+        # 322 MHz -> 3105 ps (truncated).
+        assert units.FPGA_CYCLE_PS == units.SECOND // 322_000_000
+        assert 3100 <= units.FPGA_CYCLE_PS <= 3110
+
+
+class TestFormatting:
+    def test_format_rate_tbps(self):
+        assert units.format_rate(1.2e12) == "1.20 Tbps"
+
+    def test_format_rate_gbps(self):
+        assert units.format_rate(98.4e9) == "98.40 Gbps"
+
+    def test_format_rate_mbps(self):
+        assert units.format_rate(5e6) == "5.00 Mbps"
+
+    def test_format_time(self):
+        assert units.format_time(units.SECOND) == "1.000 s"
+        assert units.format_time(1500 * units.NS).endswith("us")

@@ -1,0 +1,116 @@
+"""Workload distributions and the closed-loop generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    EmpiricalCdf,
+    FixedSize,
+    WEBSEARCH_CDF_POINTS,
+    hadoop,
+    websearch,
+)
+
+
+class TestFixedSize:
+    def test_constant(self):
+        dist = FixedSize(5000)
+        rng = np.random.default_rng(0)
+        assert dist.sample_bytes(rng) == 5000
+        assert dist.mean_bytes() == 5000.0
+
+    def test_packets_roundup(self):
+        dist = FixedSize(2500)
+        rng = np.random.default_rng(0)
+        assert dist.sample_packets(rng, 1024) == 3
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+    def test_packets_min_one(self):
+        dist = FixedSize(10)
+        rng = np.random.default_rng(0)
+        assert dist.sample_packets(rng, 1024) == 1
+
+
+class TestEmpiricalCdf:
+    def test_websearch_quantiles(self):
+        dist = websearch()
+        assert dist.quantile(0.15) == pytest.approx(10_000)
+        assert dist.quantile(0.97) == pytest.approx(10_000_000)
+        assert dist.quantile(1.0) == pytest.approx(30_000_000)
+
+    def test_websearch_mean_heavy_tailed(self):
+        # The WebSearch mean sits near 1.6 MB despite a ~64 kB median.
+        dist = websearch()
+        assert 1.0e6 <= dist.mean_bytes() <= 2.5e6
+        assert dist.quantile(0.5) < 100_000
+
+    def test_sampling_reproducible(self):
+        dist = websearch()
+        a = dist.sample_many(np.random.default_rng(42), 100)
+        b = dist.sample_many(np.random.default_rng(42), 100)
+        assert np.array_equal(a, b)
+
+    def test_empirical_mean_matches_analytic(self):
+        dist = websearch()
+        samples = dist.sample_many(np.random.default_rng(1), 200_000)
+        assert samples.mean() == pytest.approx(dist.mean_bytes(), rel=0.05)
+
+    def test_empirical_cdf_matches_anchors(self):
+        dist = websearch()
+        samples = dist.sample_many(np.random.default_rng(2), 100_000)
+        for size, prob in WEBSEARCH_CDF_POINTS[1:-1]:
+            empirical = float(np.mean(samples <= size))
+            assert empirical == pytest.approx(prob, abs=0.01)
+
+    def test_hadoop_is_short_flow_heavy(self):
+        """Hadoop's median is sub-kB; WebSearch's is tens of kB."""
+        assert hadoop().quantile(0.5) < 1_000
+        assert websearch().quantile(0.5) > 10_000
+        assert hadoop().mean_bytes() < websearch().mean_bytes()
+
+    def test_hadoop_samples_within_support(self):
+        import numpy as np
+
+        samples = hadoop().sample_many(np.random.default_rng(0), 10_000)
+        assert samples.min() >= 1
+        assert samples.max() <= 10_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(0, 0.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(10, 0.0), (5, 1.0)])  # sizes not increasing
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(0, 0.5), (10, 1.0)])  # doesn't start at 0
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(0, 0.0), (10, 0.9)])  # doesn't end at 1
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            websearch().quantile(1.5)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_within_support(self, seed):
+        dist = websearch()
+        rng = np.random.default_rng(seed)
+        size = dist.sample_bytes(rng)
+        assert 1 <= size <= 30_000_000
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=9000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_packet_conversion_consistent(self, seed, payload):
+        dist = websearch()
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        size = dist.sample_bytes(rng_a)
+        packets = dist.sample_packets(rng_b, payload)
+        assert packets == max(1, -(-size // payload))
