@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Perf-regression suite: writes BENCH_PR1.json and fails if any guarded
+## rate drops >20% below benchmarks/perf_baseline.json.
+bench:
+	$(PYTHON) benchmarks/run_perf_suite.py \
+		--output BENCH_PR1.json \
+		--baseline benchmarks/perf_baseline.json \
+		--check
+
+## Quarter-size workloads for a fast smoke signal (same regression check).
+bench-quick:
+	$(PYTHON) benchmarks/run_perf_suite.py \
+		--output BENCH_PR1.json \
+		--baseline benchmarks/perf_baseline.json \
+		--check --quick
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache src/*.egg-info

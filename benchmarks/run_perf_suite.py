@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Run the perf-regression suite (thin wrapper around repro.perf.suite).
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_perf_suite.py \
+        --baseline benchmarks/perf_baseline.json --check
+
+Writes ``BENCH_PR1.json`` unless ``--output`` says otherwise; see
+``docs/PERFORMANCE.md`` for what each bench measures.
+"""
+
+import sys
+
+from repro.perf.suite import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,5 +43,10 @@ class CCModuleError(ReproError):
     """A CC algorithm module violated the Table 3 programming contract."""
 
 
+class PacketPoolError(ReproError):
+    """A pooled packet was misused: released twice, or accessed after
+    release while the pool's debug mode is on."""
+
+
 class PortAllocationError(ConfigError):
     """The requested port layout does not fit in a switch pipeline."""

@@ -49,7 +49,7 @@ from repro.fpga.timers import FrequencyControl
 from repro.net.device import Device, Port
 from repro.net.packet import Packet
 from repro.pswitch.module_a import ReceiverLogic, ReceiverMode
-from repro.pswitch.packets import PTYPE_RDATA, make_sche
+from repro.pswitch.packets import PACKET_POOL, PTYPE_RDATA, make_sche
 from repro.sim.engine import Simulator
 from repro.units import RATE_100G, ROCE_MTU_BYTES
 
@@ -264,6 +264,9 @@ class FpgaNic(Device):
         event = self.parser.parse(packet, self.sim.now)
         if event is None:
             return
+        # The parser copied everything into the ReceptionEvent; the 64 B
+        # INFO packet's life ends here.
+        PACKET_POOL.release(packet)
         if self.config.disable_rx_timer:
             # Ablation: no frequency control on the ingress path.
             self._process_reception(event)
@@ -277,10 +280,12 @@ class FpgaNic(Device):
         truncated DATA packet, return responses via the receiver port."""
         if self.fpga_receiver is None or self.receiver_port is None:
             return
+        rx_port = rdata.meta.get("rx_port", 0)
         for response in self.fpga_receiver.on_data(rdata, self.sim.now):
             # Tell the switch which test port the response leaves from.
-            response.meta["egress_port"] = rdata.meta.get("rx_port", 0)
+            response.meta["egress_port"] = rx_port
             self.receiver_port.send(response)
+        PACKET_POOL.release(rdata)
 
     def _kick_drain(self, index: int) -> None:
         if self._drain_pending[index] or self.rx_fifos[index].empty:

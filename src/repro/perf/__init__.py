@@ -1,0 +1,5 @@
+"""Performance-regression suite (see ``docs/PERFORMANCE.md``)."""
+
+from repro.perf.suite import run_suite, main
+
+__all__ = ["run_suite", "main"]

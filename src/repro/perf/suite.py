@@ -1,0 +1,279 @@
+"""The perf-regression suite behind ``make bench`` / ``repro-bench``.
+
+Times the three hot paths the engine overhaul targets — the raw event
+loop, the full SCHE->DATA->ACK->INFO datapath, and the fluid-model
+batch kernel — plus the two supporting paths (timer churn, trace
+logging).  Results are written as JSON (``BENCH_PR1.json`` by default)
+and optionally compared against a checked-in baseline: any guarded rate
+falling more than ``--tolerance`` (default 20%) below its baseline is a
+regression and the run exits non-zero.
+
+Rates are the best of ``--repeats`` rounds: wall-clock minimums are the
+standard way to suppress scheduler noise on shared machines.
+Allocation figures come from :mod:`tracemalloc` (peak traced bytes and
+the block count surviving the round), which the free-list pool and the
+tuple heap are expected to keep flat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.units import US
+
+#: Rates guarded by --check, as (bench, field) paths into the report.
+GUARDED_RATES = (
+    ("engine_event_rate", "events_per_sec"),
+    ("datapath_rate", "packets_per_sec"),
+    ("fluid_rate", "flows_per_sec"),
+)
+
+
+def _best_of(fn: Callable[[], tuple[int, float]], repeats: int) -> tuple[float, int]:
+    """Run ``fn`` ``repeats`` times; it returns ``(work_items, seconds)``.
+    Returns ``(best_rate, work_items)``."""
+    best = 0.0
+    work = 0
+    for _ in range(repeats):
+        items, seconds = fn()
+        work = items
+        if seconds > 0:
+            best = max(best, items / seconds)
+    return best, work
+
+
+def _traced(fn: Callable[[], Any]) -> dict[str, int]:
+    """Peak traced bytes and surviving allocation blocks for one run."""
+    tracemalloc.start()
+    try:
+        fn()
+        current, peak = tracemalloc.get_traced_memory()
+        blocks = sum(
+            stat.count for stat in tracemalloc.take_snapshot().statistics("filename")
+        )
+    finally:
+        tracemalloc.stop()
+    return {
+        "alloc_peak_bytes": peak,
+        "alloc_current_bytes": current,
+        "alloc_blocks": blocks,
+    }
+
+
+# -- benches ------------------------------------------------------------------
+
+
+def bench_engine(n_events: int = 20_000, repeats: int = 5) -> dict[str, Any]:
+    """The tight self-rescheduling chain: pure event-loop overhead."""
+    from repro.sim import Simulator
+
+    horizon = n_events * 1000
+
+    def round_() -> tuple[int, float]:
+        sim = Simulator()
+
+        def tick() -> None:
+            if sim.now < horizon:
+                sim.after(1000, tick)
+
+        sim.at(0, tick)
+        t0 = time.perf_counter()
+        executed = sim.run()
+        return executed, time.perf_counter() - t0
+
+    rate, executed = _best_of(round_, repeats)
+    result = {"events_per_sec": rate, "events": executed, "repeats": repeats}
+    result.update(_traced(round_))
+    return result
+
+
+def bench_timer_churn(n_restarts: int = 20_000, repeats: int = 3) -> dict[str, Any]:
+    """Per-ACK RTO restarts — the re-arm path that used to cancel+repush."""
+    from repro.sim import Simulator, Timeout
+
+    pending_after = 0
+
+    def round_() -> tuple[int, float]:
+        nonlocal pending_after
+        sim = Simulator()
+        timeout = Timeout(sim, 1_000_000_000, lambda: None)
+        t0 = time.perf_counter()
+        timeout.restart()
+        for _ in range(n_restarts):
+            timeout.restart()
+        seconds = time.perf_counter() - t0
+        pending_after = sim.pending_events
+        return n_restarts, seconds
+
+    rate, _ = _best_of(round_, repeats)
+    return {
+        "restarts_per_sec": rate,
+        "pending_entries_after": pending_after,
+        "repeats": repeats,
+    }
+
+
+def bench_datapath(duration_us: int = 200, repeats: int = 3) -> dict[str, Any]:
+    """End-to-end DATA packets through SCHE->DATA->ACK->INFO->CC."""
+    from repro import ControlPlane, TestConfig
+    from repro.pswitch.packets import PACKET_POOL
+
+    pool_stats: dict[str, int] = {}
+
+    def round_() -> tuple[int, float]:
+        nonlocal pool_stats
+        cp = ControlPlane()
+        cp.deploy(TestConfig(cc_algorithm="dcqcn", n_test_ports=2))
+        cp.wire_loopback_fabric()
+        cp.start_flows(size_packets=10**9, pattern="pairs")
+        before = PACKET_POOL.stats()
+        t0 = time.perf_counter()
+        cp.run(duration_ps=duration_us * US)
+        seconds = time.perf_counter() - t0
+        after = PACKET_POOL.stats()
+        pool_stats = {k: after[k] - before[k] for k in ("created", "reused", "released")}
+        return cp.read_measurements()["switch.data_generated"], seconds
+
+    rate, packets = _best_of(round_, repeats)
+    result = {
+        "packets_per_sec": rate,
+        "packets": packets,
+        "sim_duration_us": duration_us,
+        "pool": pool_stats,
+        "repeats": repeats,
+    }
+    result.update(_traced(round_))
+    return result
+
+
+def bench_fluid(flows_total: int = 50_000, repeats: int = 3) -> dict[str, Any]:
+    """The vectorized fluid-model FCT kernel (Figure 10 scale path)."""
+    from repro.fluid import FluidSimulator, dcqcn_profile
+    from repro.workload import websearch
+
+    def round_() -> tuple[int, float]:
+        fluid = FluidSimulator(flows_per_port=8, seed=1)
+        t0 = time.perf_counter()
+        result = fluid.run(dcqcn_profile(), websearch(), flows_total=flows_total)
+        return len(result.fcts_us), time.perf_counter() - t0
+
+    rate, flows = _best_of(round_, repeats)
+    return {"flows_per_sec": rate, "flows": flows, "repeats": repeats}
+
+
+def bench_trace(n_records: int = 100_000, repeats: int = 3) -> dict[str, Any]:
+    """Columnar trace append + series read-back."""
+    from repro.sim import TraceRecorder
+
+    def round_() -> tuple[int, float]:
+        trace = TraceRecorder()
+        log = trace.log
+        t0 = time.perf_counter()
+        for i in range(n_records):
+            log(i, "cc", cwnd=i, rate=i * 2)
+        trace.series("cc", "cwnd")
+        return n_records, time.perf_counter() - t0
+
+    rate, _ = _best_of(round_, repeats)
+    return {"logs_per_sec": rate, "repeats": repeats}
+
+
+# -- suite --------------------------------------------------------------------
+
+
+def run_suite(*, quick: bool = False, repeats: int = 5) -> dict[str, Any]:
+    """Run every bench; returns the report dict (also what gets written)."""
+    scale = 4 if quick else 1
+    benches = {
+        "engine_event_rate": lambda: bench_engine(20_000 // scale, repeats),
+        "timer_churn": lambda: bench_timer_churn(20_000 // scale, min(repeats, 3)),
+        "datapath_rate": lambda: bench_datapath(200 // scale, min(repeats, 3)),
+        "fluid_rate": lambda: bench_fluid(50_000 // scale, min(repeats, 3)),
+        "trace_log_rate": lambda: bench_trace(100_000 // scale, min(repeats, 3)),
+    }
+    report: dict[str, Any] = {"schema": 1, "quick": quick, "benches": {}}
+    for name, bench in benches.items():
+        print(f"[bench] {name} ...", flush=True)
+        report["benches"][name] = bench()
+    return report
+
+
+def check_regression(
+    report: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Guarded rates that fell more than ``tolerance`` below baseline."""
+    failures = []
+    for bench, field in GUARDED_RATES:
+        base = baseline.get("benches", {}).get(bench, {}).get(field)
+        if base is None:
+            continue
+        measured = report["benches"].get(bench, {}).get(field, 0.0)
+        floor = base * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{bench}.{field}: {measured:,.0f}/s is below the regression "
+                f"floor {floor:,.0f}/s (baseline {base:,.0f}/s - {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="Run the perf-regression suite."
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_PR1.json"),
+        help="where to write the JSON report (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON to compare guarded rates against",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if a guarded rate regresses past --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional drop below baseline (default 0.20)",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--quick", action="store_true", help="quarter-size workloads (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline is not None:
+        # Read up front: a bad path should not cost a full suite run.
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
+
+    report = run_suite(quick=args.quick, repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] report written to {args.output}")
+    for name, result in report["benches"].items():
+        rate_key = next(k for k in result if k.endswith("_per_sec"))
+        print(f"  {name:20s} {result[rate_key]:>14,.0f} {rate_key.removesuffix('_per_sec')}/s")
+
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.tolerance)
+        if args.check and failures:
+            for failure in failures:
+                print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        for failure in failures:
+            print(f"[bench] warning: {failure}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

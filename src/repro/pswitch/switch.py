@@ -25,7 +25,13 @@ from repro.net.packet import Packet
 from repro.pswitch.module_a import ReceiverLogic, ReceiverMode
 from repro.pswitch.module_b import InfoGenerator
 from repro.pswitch.module_c import DataGenerator
-from repro.pswitch.packets import PTYPE_ACK, PTYPE_DATA, PTYPE_SCHE, make_rdata
+from repro.pswitch.packets import (
+    PACKET_POOL,
+    PTYPE_ACK,
+    PTYPE_DATA,
+    PTYPE_SCHE,
+    make_rdata,
+)
 from repro.pswitch.port_allocation import PortAllocation, allocate_ports
 from repro.sim.engine import Simulator
 from repro.units import MICROSECOND, NANOSECOND, RATE_100G, ROCE_MTU_BYTES
@@ -135,6 +141,9 @@ class MarlinSwitch(Device):
 
     def _handle_sche(self, packet: Packet) -> None:
         self.data_generator.on_sche(packet)
+        # Module C copied the metadata into a register queue; the 64 B
+        # SCHE packet's life ends here.
+        PACKET_POOL.release(packet)
 
     def _handle_data(self, packet: Packet, port: Port) -> None:
         if self.receiver_port is not None:
@@ -155,6 +164,8 @@ class MarlinSwitch(Device):
 
     def _handle_ack(self, packet: Packet, port: Port) -> None:
         info = self.info_generator.on_ack(packet, port.index, self.sim.now)
+        # Module B rewrote the ACK into the INFO; the ACK's life ends here.
+        PACKET_POOL.release(packet)
         self.fpga_port.send(info)
 
     # -- control-plane readable registers --------------------------------------

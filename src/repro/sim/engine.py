@@ -1,4 +1,26 @@
-"""Heap-based discrete-event simulator with deterministic tie-breaking."""
+"""Heap-based discrete-event simulator with deterministic tie-breaking.
+
+Hot-path design (see ``docs/PERFORMANCE.md``):
+
+* The common case — an event that is scheduled once and always fires —
+  is stored on the heap as a plain tuple ``(time_ps, seq, fn, args)``.
+  Tuples compare in C (the monotonically increasing ``seq`` guarantees
+  the comparison never reaches ``fn``), so ``heappush``/``heappop``
+  never call back into Python, and no per-event object is allocated.
+* Events that may be cancelled or re-armed (timers, timeouts) get a
+  lightweight :class:`EventHandle` and are stored as ``(time_ps, seq,
+  handle, _HANDLE)``.  Cancellation is lazy — the entry is skipped when
+  popped — and re-arming to a *later* deadline reuses the pending entry
+  instead of pushing a new one, so restart-heavy timers keep O(1) live
+  entries.
+* Lazily-cancelled entries are counted, and when they outnumber half the
+  heap the heap is compacted in place, bounding memory under timer
+  churn at O(live events).
+
+The two entry shapes are distinguished by an identity test on slot 3
+(a fast event's args tuple vs. the ``_HANDLE`` marker), which is cheaper
+than a ``len()`` call on the pop path.
+"""
 
 from __future__ import annotations
 
@@ -7,35 +29,82 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+#: Compaction triggers when at least this many dead entries exist *and*
+#: they make up at least half the heap.
+COMPACT_MIN_DEAD = 64
 
-class Event:
-    """A scheduled callback.
+#: Marker in slot 3 of a handle entry ``(time_ps, seq, handle, _HANDLE)``.
+#: Fast entries carry their args tuple there, which is never this object,
+#: so ``entry[3] is _HANDLE`` discriminates without a len() call.
+_HANDLE = object()
 
-    Events are created through :meth:`Simulator.schedule` (or the ``at`` /
-    ``after`` conveniences) and may be cancelled.  Cancellation is lazy: the
-    heap entry stays where it is and is skipped when popped.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+class EventHandle:
+    """A cancellable, re-armable scheduled callback.
+
+    Created through :meth:`Simulator.schedule_handle` /
+    :meth:`Simulator.after_handle`.  The handle is the old-style
+    scheduling API (the seed's ``Event`` class is an alias); the
+    fast-path :meth:`Simulator.schedule` family returns ``None`` and
+    cannot be cancelled.
+
+    ``time_ps`` is the time of the live heap entry; ``target_ps`` is the
+    logical fire time.  When a handle is re-armed to a later deadline the
+    heap entry stays put and ``target_ps`` moves — the engine re-pushes
+    the entry when it pops early.  ``seq`` is the sequence number of the
+    live heap entry, or ``-1`` when the handle is not pending.
     """
 
-    __slots__ = ("time_ps", "seq", "fn", "args", "cancelled")
+    __slots__ = ("_sim", "time_ps", "target_ps", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time_ps: int, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        sim: "Simulator",
+        time_ps: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self._sim = sim
         self.time_ps = time_ps
+        self.target_ps = time_ps
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
 
+    @property
+    def pending(self) -> bool:
+        """True while the callback is still going to fire."""
+        return self.seq != -1
+
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.seq != -1:
+            self.seq = -1
+            self._sim._note_dead()
         self.cancelled = True
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time_ps, self.seq) < (other.time_ps, other.seq)
+    def rearm(self, time_ps: int) -> None:
+        """Move the fire time to ``time_ps``; see :meth:`Simulator.rearm`."""
+        self._sim.rearm(self, time_ps)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.seq == -1:
+            state = "fired"
+        else:
+            state = "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time_ps}ps seq={self.seq} {name} {state}>"
+        return f"<EventHandle t={self.target_ps}ps seq={self.seq} {name} {state}>"
+
+
+#: Back-compat alias for the seed's handle-returning API.
+Event = EventHandle
 
 
 class Simulator:
@@ -48,53 +117,167 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self._events_executed: int = 0
+        #: Lazily-cancelled (or superseded) entries still on the heap.
+        self._dead: int = 0
+        #: Times the heap was compacted to reclaim dead entries.
+        self.compactions: int = 0
 
     # -- scheduling ---------------------------------------------------------
 
-    def schedule(self, time_ps: int, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run at absolute time ``time_ps``."""
+    def schedule(self, time_ps: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run at absolute time ``time_ps``.
+
+        Fast path: no handle is returned and the event cannot be
+        cancelled.  Use :meth:`schedule_handle` for cancellable events.
+        """
         if time_ps < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time_ps} ps; current time is {self.now} ps"
             )
-        event = Event(time_ps, self._seq, fn, args)
+        _heappush(self._heap, (time_ps, self._seq, fn, args))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
 
-    def at(self, time_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+    def at(self, time_ps: int, fn: Callable[..., None], *args: Any) -> None:
         """Alias of :meth:`schedule` reading naturally at call sites."""
-        return self.schedule(time_ps, fn, *args)
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time_ps} ps; current time is {self.now} ps"
+            )
+        _heappush(self._heap, (time_ps, self._seq, fn, args))
+        self._seq += 1
 
-    def after(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+    def after(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay_ps`` from now."""
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps} ps")
-        return self.schedule(self.now + delay_ps, fn, *args)
+        _heappush(self._heap, (self.now + delay_ps, self._seq, fn, args))
+        self._seq += 1
 
-    def call_now(self, fn: Callable[..., None], *args: Any) -> Event:
+    def call_now(self, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current time, after pending events
         that were already scheduled for this instant."""
-        return self.schedule(self.now, fn, *args)
+        _heappush(self._heap, (self.now, self._seq, fn, args))
+        self._seq += 1
+
+    def schedule_handle(
+        self, time_ps: int, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at ``time_ps`` and return a cancellable
+        :class:`EventHandle` (the old-style API)."""
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time_ps} ps; current time is {self.now} ps"
+            )
+        handle = EventHandle(self, time_ps, self._seq, fn, args)
+        _heappush(self._heap, (time_ps, self._seq, handle, _HANDLE))
+        self._seq += 1
+        return handle
+
+    def after_handle(
+        self, delay_ps: int, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """:meth:`schedule_handle` at ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps} ps")
+        return self.schedule_handle(self.now + delay_ps, fn, *args)
+
+    def rearm(self, handle: EventHandle, time_ps: int) -> None:
+        """Move ``handle``'s fire time to ``time_ps``.
+
+        * Pending and ``time_ps`` at or after the live heap entry: the
+          entry is reused — only ``target_ps`` moves (no allocation, no
+          dead entry).
+        * Pending and earlier: the old entry is abandoned and a fresh one
+          is pushed.
+        * Not pending (fired or cancelled): the handle is revived with a
+          fresh entry.
+        """
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot re-arm event at {time_ps} ps; current time is {self.now} ps"
+            )
+        handle.cancelled = False
+        handle.target_ps = time_ps
+        if handle.seq != -1:
+            if time_ps >= handle.time_ps:
+                return
+            # Earlier than the pending entry: that entry becomes dead.
+            handle.seq = -1
+            self._note_dead()
+        handle.seq = self._seq
+        handle.time_ps = time_ps
+        _heappush(self._heap, (time_ps, self._seq, handle, _HANDLE))
+        self._seq += 1
+
+    # -- dead-entry accounting ----------------------------------------------
+
+    def _note_dead(self) -> None:
+        self._dead += 1
+        if self._dead >= COMPACT_MIN_DEAD and self._dead * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries and restore the heap invariant.
+
+        In-place (slice assignment) so a ``run()`` in progress, which
+        binds the heap list in a local, keeps seeing the same object.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if e[3] is not _HANDLE or e[2].seq == e[1]]
+        heapq.heapify(heap)
+        self._dead = 0
+        self.compactions += 1
 
     # -- execution ----------------------------------------------------------
 
-    def step(self) -> bool:
-        """Execute the next pending event.  Returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+    def _pop_runnable(self) -> Optional[tuple]:
+        """Pop entries until one is live, handling stale skips and lazy
+        re-arms.  Returns ``(time_ps, fn, args)`` or None when drained."""
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[3] is not _HANDLE:
+                return (entry[0], entry[2], entry[3])
+            handle = entry[2]
+            if handle.seq != entry[1]:
+                self._dead -= 1
                 continue
-            self.now = event.time_ps
-            event.fn(*event.args)
+            if handle.target_ps > entry[0]:
+                seq = self._seq
+                self._seq = seq + 1
+                handle.seq = seq
+                handle.time_ps = handle.target_ps
+                _heappush(heap, (handle.target_ps, seq, handle, _HANDLE))
+                continue
+            handle.seq = -1
+            return (entry[0], handle.fn, handle.args)
+        return None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when none remain.
+
+        Mirrors :meth:`run` semantics: reentrant use raises, and a
+        leftover :meth:`stop` request from an earlier run is cleared.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant step())")
+        self._stopped = False
+        self._running = True
+        try:
+            item = self._pop_runnable()
+            if item is None:
+                return False
+            self.now = item[0]
+            item[1](*item[2])
             self._events_executed += 1
             return True
-        return False
+        finally:
+            self._running = False
 
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until_ps`` is reached, or
@@ -105,26 +288,86 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
+        if max_events is not None and max_events <= 0:
+            return 0
         self._running = True
         self._stopped = False
         executed = 0
+        # Locals for the hot loop: attribute lookups are off the per-event
+        # path.
+        heap = self._heap
+        pop = _heappop
+        push = _heappush
+        marker = _HANDLE
         try:
-            while self._heap and not self._stopped:
-                if max_events is not None and executed >= max_events:
-                    break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until_ps is not None and event.time_ps > until_ps:
-                    break
-                heapq.heappop(self._heap)
-                self.now = event.time_ps
-                event.fn(*event.args)
-                self._events_executed += 1
-                executed += 1
+            if until_ps is None and max_events is None:
+                # Drain loop — the common case.  No horizon or budget
+                # comparison on the per-event path.
+                while heap and not self._stopped:
+                    entry = pop(heap)
+                    args = entry[3]
+                    if args is not marker:
+                        self.now = entry[0]
+                        entry[2](*args)
+                        executed += 1
+                    else:
+                        handle = entry[2]
+                        if handle.seq != entry[1]:
+                            self._dead -= 1
+                            continue
+                        time_ps = entry[0]
+                        if handle.target_ps > time_ps:
+                            # Lazy re-arm: push the reused entry at its
+                            # new time.
+                            seq = self._seq
+                            self._seq = seq + 1
+                            handle.seq = seq
+                            handle.time_ps = handle.target_ps
+                            push(heap, (handle.target_ps, seq, handle, marker))
+                            continue
+                        handle.seq = -1
+                        self.now = time_ps
+                        handle.fn(*handle.args)
+                        executed += 1
+            else:
+                # Bounded loop.  `executed != limit` with limit -1 never
+                # fires, and the `until` bound is a large int so the
+                # comparison stays int/int.
+                until = (1 << 62) if until_ps is None else until_ps
+                limit = -1 if max_events is None else max_events
+                while heap and not self._stopped and executed != limit:
+                    entry = pop(heap)
+                    time_ps = entry[0]
+                    if time_ps > until:
+                        # Past the horizon: put the entry back (same seq,
+                        # so ordering is untouched) and stop.
+                        push(heap, entry)
+                        break
+                    args = entry[3]
+                    if args is not marker:
+                        self.now = time_ps
+                        entry[2](*args)
+                    else:
+                        handle = entry[2]
+                        if handle.seq != entry[1]:
+                            self._dead -= 1
+                            continue
+                        if handle.target_ps > time_ps:
+                            # Lazy re-arm: push the reused entry at its
+                            # new time.
+                            seq = self._seq
+                            self._seq = seq + 1
+                            handle.seq = seq
+                            handle.time_ps = handle.target_ps
+                            push(heap, (handle.target_ps, seq, handle, marker))
+                            continue
+                        handle.seq = -1
+                        self.now = time_ps
+                        handle.fn(*handle.args)
+                    executed += 1
         finally:
             self._running = False
+            self._events_executed += executed
         if until_ps is not None and not self._stopped and self.now < until_ps:
             self.now = until_ps
         return executed
@@ -141,6 +384,16 @@ class Simulator:
         return len(self._heap)
 
     @property
+    def live_events(self) -> int:
+        """Queued events that will actually fire."""
+        return len(self._heap) - self._dead
+
+    @property
+    def dead_entries(self) -> int:
+        """Lazily-cancelled entries awaiting compaction."""
+        return self._dead
+
+    @property
     def events_executed(self) -> int:
         """Total events executed over the simulator's lifetime."""
         return self._events_executed
@@ -148,5 +401,5 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Simulator now={self.now}ps pending={len(self._heap)} "
-            f"executed={self._events_executed}>"
+            f"dead={self._dead} executed={self._events_executed}>"
         )

@@ -2,6 +2,13 @@
 
 :class:`PeriodicTimer` backs the FPGA's RX/TX frequency-control timers and
 the TEMP-packet loopback; :class:`Timeout` backs retransmission timers.
+
+Both are restart-heavy in real workloads (every ACK restarts an RTO), so
+both re-arm their pending :class:`~repro.sim.engine.EventHandle` through
+:meth:`Simulator.rearm` instead of cancel-and-repush.  Extending a
+deadline leaves the heap entry in place, and the handle object itself is
+reused across firings — a long-running timer keeps exactly one live heap
+entry and allocates nothing per restart.
 """
 
 from __future__ import annotations
@@ -9,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import EventHandle, Simulator
 
 
 class PeriodicTimer:
@@ -34,25 +41,27 @@ class PeriodicTimer:
         self.period_ps = period_ps
         self.fn = fn
         self.phase_ps = phase_ps
-        self._event: Optional[Event] = None
+        self._event: Optional[EventHandle] = None
         self.fire_count = 0
         if start:
             self.start()
 
     @property
     def running(self) -> bool:
-        return self._event is not None
+        return self._event is not None and self._event.pending
 
     def start(self) -> None:
         """Start (or restart) the timer; first firing after one period plus
         the configured phase offset."""
-        self.cancel()
-        self._event = self.sim.after(self.period_ps + self.phase_ps, self._fire)
+        when = self.sim.now + self.period_ps + self.phase_ps
+        if self._event is None:
+            self._event = self.sim.schedule_handle(when, self._fire)
+        else:
+            self.sim.rearm(self._event, when)
 
     def cancel(self) -> None:
         if self._event is not None:
             self._event.cancel()
-            self._event = None
 
     def set_period(self, period_ps: int) -> None:
         """Change the period; takes effect from the next scheduling."""
@@ -61,7 +70,10 @@ class PeriodicTimer:
         self.period_ps = period_ps
 
     def _fire(self) -> None:
-        self._event = self.sim.after(self.period_ps, self._fire)
+        # The handle just fired (it is no longer pending); revive it for
+        # the next period before running the callback.
+        assert self._event is not None
+        self.sim.rearm(self._event, self.sim.now + self.period_ps)
         self.fire_count += 1
         self.fn()
 
@@ -79,12 +91,12 @@ class Timeout:
         self.sim = sim
         self.duration_ps = duration_ps
         self.fn = fn
-        self._event: Optional[Event] = None
+        self._event: Optional[EventHandle] = None
         self.expirations = 0
 
     @property
     def armed(self) -> bool:
-        return self._event is not None
+        return self._event is not None and self._event.pending
 
     def restart(self, duration_ps: Optional[int] = None) -> None:
         """(Re)arm the timer for ``duration_ps`` (or the configured default)."""
@@ -94,15 +106,16 @@ class Timeout:
                     f"timeout duration must be positive, got {duration_ps}"
                 )
             self.duration_ps = duration_ps
-        self.cancel()
-        self._event = self.sim.after(self.duration_ps, self._expire)
+        when = self.sim.now + self.duration_ps
+        if self._event is None:
+            self._event = self.sim.schedule_handle(when, self._expire)
+        else:
+            self.sim.rearm(self._event, when)
 
     def cancel(self) -> None:
         if self._event is not None:
             self._event.cancel()
-            self._event = None
 
     def _expire(self) -> None:
-        self._event = None
         self.expirations += 1
         self.fn()

@@ -3,17 +3,29 @@
 This is the software analogue of Marlin's fine-grained logging path
 (Section 5.1): components append timestamped records to a named channel,
 and analysis code reads them back as columns.
+
+Storage is columnar (see ``docs/PERFORMANCE.md``): each channel keeps one
+``times`` list plus, per field key, a pair of parallel lists
+``(record_indices, values)``.  The hot-path :meth:`TraceRecorder.log`
+therefore allocates no per-record object and no per-record dict, and
+:meth:`TraceRecorder.series` — the read pattern behind every figure —
+is a direct column read.  Row-shaped views (:meth:`channel`, iteration,
+``records``) materialize :class:`TraceRecord` objects on demand.
+
+Channels can be disabled individually (:meth:`set_channel_enabled`) or
+wholesale (``enabled``); a ``log()`` call on a disabled channel costs one
+dict lookup and returns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One timestamped observation on a channel."""
+    """One timestamped observation on a channel (row view)."""
 
     time_ps: int
     channel: str
@@ -23,38 +35,117 @@ class TraceRecord:
         return self.fields[key]
 
 
-@dataclass
-class TraceRecorder:
-    """Append-only store of :class:`TraceRecord` grouped by channel."""
+class _ChannelStore:
+    """Columnar storage for one channel."""
 
-    records: dict[str, list[TraceRecord]] = field(default_factory=dict)
+    __slots__ = ("times", "columns")
+
+    def __init__(self) -> None:
+        self.times: list[int] = []
+        #: key -> (record indices, values), parallel lists.
+        self.columns: dict[str, tuple[list[int], list[Any]]] = {}
+
+
+class TraceRecorder:
+    """Append-only per-channel columnar store with a row-view read API."""
+
+    __slots__ = ("_stores", "_muted", "enabled")
+
+    def __init__(self) -> None:
+        self._stores: dict[str, _ChannelStore] = {}
+        #: Disabled channels; value keeps any data logged before disabling
+        #: (None when the channel was never logged).
+        self._muted: dict[str, Optional[_ChannelStore]] = {}
+        #: Master gate: when False, log() is a no-op for new channels too.
+        self.enabled = True
+
+    # -- hot path ------------------------------------------------------------
 
     def log(self, time_ps: int, channel: str, **fields: Any) -> None:
-        """Append a record to ``channel``."""
-        self.records.setdefault(channel, []).append(
-            TraceRecord(time_ps=time_ps, channel=channel, fields=fields)
-        )
+        """Append a record to ``channel`` (no-op when gated off)."""
+        if not self.enabled:
+            return
+        store = self._stores.get(channel)
+        if store is None:
+            if channel in self._muted:
+                return
+            store = self._stores[channel] = _ChannelStore()
+        times = store.times
+        index = len(times)
+        times.append(time_ps)
+        if fields:
+            columns = store.columns
+            for key, value in fields.items():
+                column = columns.get(key)
+                if column is None:
+                    column = columns[key] = ([], [])
+                column[0].append(index)
+                column[1].append(value)
+
+    # -- gates ---------------------------------------------------------------
+
+    def set_channel_enabled(self, channel: str, enabled: bool = True) -> None:
+        """Enable or disable one channel.  Disabling keeps already-logged
+        data readable; further ``log()`` calls on the channel are dropped."""
+        if enabled:
+            store = self._muted.pop(channel, None)
+            if store is not None:
+                self._stores[channel] = store
+        elif channel not in self._muted:
+            self._muted[channel] = self._stores.pop(channel, None)
+
+    def channel_enabled(self, channel: str) -> bool:
+        return channel not in self._muted
+
+    # -- read API ------------------------------------------------------------
+
+    def _store(self, channel: str) -> Optional[_ChannelStore]:
+        store = self._stores.get(channel)
+        if store is None:
+            store = self._muted.get(channel)
+        return store
 
     def channel(self, channel: str) -> list[TraceRecord]:
-        """All records logged on ``channel`` in time order."""
-        return self.records.get(channel, [])
+        """All records logged on ``channel`` in time order (row view)."""
+        store = self._store(channel)
+        if store is None:
+            return []
+        fields_per_record: list[dict[str, Any]] = [{} for _ in store.times]
+        for key, (indices, values) in store.columns.items():
+            for index, value in zip(indices, values):
+                fields_per_record[index][key] = value
+        return [
+            TraceRecord(time_ps=t, channel=channel, fields=f)
+            for t, f in zip(store.times, fields_per_record)
+        ]
 
     def channels(self) -> list[str]:
-        return sorted(self.records)
+        names = list(self._stores)
+        names.extend(c for c, s in self._muted.items() if s is not None)
+        return sorted(names)
 
     def series(self, channel: str, key: str) -> tuple[list[int], list[Any]]:
         """``(times_ps, values)`` for field ``key`` on ``channel``."""
-        times: list[int] = []
-        values: list[Any] = []
-        for record in self.channel(channel):
-            if key in record.fields:
-                times.append(record.time_ps)
-                values.append(record.fields[key])
-        return times, values
+        store = self._store(channel)
+        if store is None:
+            return [], []
+        column = store.columns.get(key)
+        if column is None:
+            return [], []
+        times = store.times
+        return [times[i] for i in column[0]], list(column[1])
+
+    @property
+    def records(self) -> dict[str, list[TraceRecord]]:
+        """Row view of everything, grouped by channel (compat shim for the
+        seed's dict-of-records storage)."""
+        return {channel: self.channel(channel) for channel in self.channels()}
 
     def __iter__(self) -> Iterator[TraceRecord]:
         for channel in self.channels():
-            yield from self.records[channel]
+            yield from self.channel(channel)
 
     def __len__(self) -> int:
-        return sum(len(records) for records in self.records.values())
+        total = sum(len(store.times) for store in self._stores.values())
+        total += sum(len(s.times) for s in self._muted.values() if s is not None)
+        return total

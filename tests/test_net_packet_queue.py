@@ -128,3 +128,82 @@ class TestEcnQueue:
         q.enqueue(make_packet(200, ecn=ECT))
         assert not q.enqueue(make_packet(100, ecn=ECT))
         assert q.stats.dropped_packets == 1
+
+
+class TestPacketPool:
+    def _pool(self, **kwargs):
+        from repro.net.packet import PacketPool
+
+        return PacketPool(**kwargs)
+
+    def test_acquire_release_reuses_object(self):
+        pool = self._pool()
+        first = pool.acquire("SCHE", 1, 2, 64, flow_id=7)
+        pool.release(first)
+        second = pool.acquire("ACK", 3, 4, 64, flow_id=9, psn=5)
+        assert second is first  # same object, reinitialized
+        assert (second.ptype, second.src, second.dst) == ("ACK", 3, 4)
+        assert (second.flow_id, second.psn) == (9, 5)
+        assert pool.stats()["reused"] == 1
+
+    def test_reuse_gets_fresh_uid_and_cleared_meta(self):
+        pool = self._pool()
+        first = pool.acquire("SCHE", 1, 2, 64)
+        first.meta["egress_port"] = 3
+        old_uid, old_meta = first.uid, first.meta
+        pool.release(first)
+        second = pool.acquire("SCHE", 1, 2, 64)
+        assert second.uid != old_uid
+        assert second.meta is old_meta  # dict object reused...
+        assert second.meta == {}  # ...but cleared
+
+    def test_double_release_is_counted_once(self):
+        pool = self._pool()
+        packet = pool.acquire("SCHE", 1, 2, 64)
+        pool.release(packet)
+        pool.release(packet)  # silently ignored outside debug mode
+        assert pool.stats()["released"] == 1
+        assert pool.stats()["free"] == 1
+
+    def test_debug_double_release_raises(self):
+        from repro.errors import PacketPoolError
+
+        pool = self._pool(debug=True)
+        packet = pool.acquire("SCHE", 1, 2, 64)
+        pool.release(packet)
+        with pytest.raises(PacketPoolError, match="double release"):
+            pool.release(packet)
+
+    def test_debug_use_after_release_raises_on_meta_access(self):
+        from repro.errors import PacketPoolError
+
+        pool = self._pool(debug=True)
+        packet = pool.acquire("SCHE", 1, 2, 64)
+        packet.meta["egress_port"] = 1
+        pool.release(packet)
+        assert packet.ptype == "<freed>"
+        with pytest.raises(PacketPoolError, match="use-after-release"):
+            packet.meta["egress_port"]
+        with pytest.raises(PacketPoolError, match="use-after-release"):
+            packet.meta.get("egress_port")
+
+    def test_max_free_bounds_the_free_list(self):
+        pool = self._pool(max_free=2)
+        packets = [pool.acquire("SCHE", 1, 2, 64) for _ in range(5)]
+        for packet in packets:
+            pool.release(packet)
+        assert pool.stats()["free"] == 2
+
+    def test_disabled_pool_never_recycles(self):
+        pool = self._pool()
+        pool.enabled = False
+        packet = pool.acquire("SCHE", 1, 2, 64)
+        pool.release(packet)
+        assert pool.stats()["free"] == 0
+        assert pool.acquire("SCHE", 1, 2, 64) is not packet
+
+    def test_acquire_rejects_nonpositive_size_even_on_reuse(self):
+        pool = self._pool()
+        pool.release(pool.acquire("SCHE", 1, 2, 64))
+        with pytest.raises(ValueError):
+            pool.acquire("SCHE", 1, 2, 0)

@@ -180,3 +180,120 @@ class TestStrictModes:
         cp.start_flows(size_packets=1500, pattern="pairs")
         cp.run(duration_ps=4 * MS)  # would raise on violation
         assert len(tester.fct) == 1
+
+
+class TestHeapOrderProperty:
+    """Hypothesis: interleaved schedule/cancel/re-arm sequences (with
+    compaction firing whenever enough entries die) preserve the
+    (time, seq) execution order the naive always-push reference heap
+    defines, and never lose or duplicate a live event."""
+
+    OPS = st.lists(
+        st.tuples(
+            st.sampled_from(["schedule", "handle", "cancel", "rearm"]),
+            st.integers(min_value=0, max_value=1000),  # time_ps
+            st.integers(min_value=0, max_value=10_000),  # handle selector
+        ),
+        max_size=300,
+    )
+
+    @staticmethod
+    def _build(ops):
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        fired = []
+
+        def record(eid):
+            fired.append((eid, sim.now))
+
+        handles = {}
+        fast_entries = []  # (time_ps, op index) in schedule order
+        expected = {}  # event id -> fire time, or None once cancelled
+        for index, (op, time_ps, selector) in enumerate(ops):
+            if op == "schedule":
+                eid = ("fast", index)
+                sim.at(time_ps, record, eid)
+                fast_entries.append((time_ps, index))
+                expected[eid] = time_ps
+            elif op == "handle":
+                eid = ("handle", index)
+                handles[index] = sim.schedule_handle(time_ps, record, eid)
+                expected[eid] = time_ps
+            elif handles:
+                key = sorted(handles)[selector % len(handles)]
+                if op == "cancel":
+                    handles[key].cancel()
+                    expected[("handle", key)] = None
+                else:  # rearm revives cancelled handles too
+                    handles[key].rearm(time_ps)
+                    expected[("handle", key)] = time_ps
+        return sim, fired, fast_entries, expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_engine_matches_reference(self, ops):
+        sim, fired, fast_entries, expected = self._build(ops)
+        live_before_run = {e: t for e, t in expected.items() if t is not None}
+        assert sim.live_events == len(live_before_run)
+        sim.run()
+
+        # Exactly the non-cancelled events fire, each once, at its final
+        # scheduled (or last re-armed) time.
+        assert dict(fired) == live_before_run
+        assert len(fired) == len(live_before_run)
+        # Global time order is preserved.
+        times = [t for _, t in fired]
+        assert times == sorted(times)
+        # Fast-path entries are never re-pushed, so their relative order
+        # must equal the naive reference heap's (time, seq) sort exactly.
+        reference = [
+            ("fast", index)
+            for time_ps, index in sorted(fast_entries, key=lambda e: (e[0], e[1]))
+        ]
+        assert [e for e, _ in fired if e[0] == "fast"] == reference
+        # Compaction and lazy deletion leave nothing behind.
+        assert sim.pending_events == 0
+        assert sim.dead_entries == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OPS)
+    def test_same_ops_same_execution(self, ops):
+        sim1, fired1, _, _ = self._build(ops)
+        sim1.run()
+        sim2, fired2, _, _ = self._build(ops)
+        sim2.run()
+        assert fired1 == fired2
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=80, max_size=200
+        ),
+        keep_every=st.integers(min_value=3, max_value=7),
+    )
+    def test_mass_cancellation_compacts_and_keeps_survivors(self, times, keep_every):
+        """Cancel most of a dense heap (forcing compaction) and check the
+        survivors still fire in (time, seq) order."""
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        fired = []
+
+        def record(eid):
+            fired.append(eid)
+
+        handles = [
+            (i, t, sim.schedule_handle(t, record, (t, i)))
+            for i, t in enumerate(times)
+        ]
+        survivors = []
+        for i, t, handle in handles:
+            if i % keep_every:
+                handle.cancel()
+            else:
+                survivors.append((t, i))
+        sim.run()
+        assert fired == sorted(survivors)
+        assert sim.pending_events == 0
+        assert sim.dead_entries == 0

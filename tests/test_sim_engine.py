@@ -62,17 +62,95 @@ class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()
         fired = []
-        event = sim.at(10, fired.append, 1)
+        event = sim.schedule_handle(10, fired.append, 1)
         event.cancel()
         sim.run()
         assert fired == []
 
     def test_cancel_is_idempotent(self):
         sim = Simulator()
-        event = sim.at(10, lambda: None)
+        event = sim.schedule_handle(10, lambda: None)
         event.cancel()
         event.cancel()
         assert sim.run() == 0
+
+    def test_handle_pending_lifecycle(self):
+        sim = Simulator()
+        event = sim.after_handle(10, lambda: None)
+        assert event.pending
+        sim.run()
+        assert not event.pending
+        assert not event.cancelled
+
+    def test_handle_and_fast_events_interleave_deterministically(self):
+        sim = Simulator()
+        order = []
+        sim.at(10, order.append, "fast1")
+        sim.schedule_handle(10, order.append, "handle")
+        sim.at(10, order.append, "fast2")
+        sim.run()
+        assert order == ["fast1", "handle", "fast2"]
+
+    def test_rearm_extends_deadline_without_new_entry(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_handle(100, lambda: fired.append(sim.now))
+        event.rearm(250)
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [250]
+
+    def test_rearm_earlier_deadline(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_handle(100, lambda: fired.append(sim.now))
+        event.rearm(40)
+        sim.run()
+        assert fired == [40]
+
+    def test_rearm_revives_cancelled_handle(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_handle(100, lambda: fired.append(sim.now))
+        event.cancel()
+        event.rearm(120)
+        sim.run()
+        assert fired == [120]
+
+    def test_rearm_in_past_rejected(self):
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        event = sim.schedule_handle(200, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            event.rearm(50)
+
+
+class TestCompaction:
+    def test_cancelled_entries_are_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule_handle(1000 + i, lambda: None) for i in range(500)]
+        keeper_fired = []
+        sim.at(2000, keeper_fired.append, 1)
+        for handle in handles:
+            handle.cancel()
+        # Cancelling over half the heap must have triggered compaction:
+        # the heap stays O(live + threshold), not O(total cancellations).
+        assert sim.compactions >= 1
+        assert sim.live_events == 1
+        assert sim.pending_events < 500
+        sim.run()
+        assert keeper_fired == [1]
+        assert sim.pending_events == 0
+
+    def test_live_events_excludes_dead(self):
+        sim = Simulator()
+        keep = sim.schedule_handle(10, lambda: None)
+        drop = sim.schedule_handle(20, lambda: None)
+        drop.cancel()
+        assert sim.live_events == 1
+        assert sim.dead_entries == 1
+        assert keep.pending
 
 
 class TestRunControl:
@@ -130,6 +208,28 @@ class TestRunControl:
         sim.at(1, nested)
         with pytest.raises(SimulationError):
             sim.run()
+
+    def test_reentrant_step_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.at(1, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_clears_stale_stop_request(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1, fired.append, 1)
+        sim.stop()  # a stop with no run in progress must not wedge step()
+        assert sim.step() is True
+        assert fired == [1]
 
     def test_event_counts(self):
         sim = Simulator()

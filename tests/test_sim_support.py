@@ -76,3 +76,53 @@ class TestTraceRecorder:
         times, values = trace.series("c", "x")
         assert times == [1]
         assert values == [1]
+
+    def test_records_compat_view(self):
+        trace = TraceRecorder()
+        trace.log(1, "a", v=1)
+        trace.log(2, "b", v=2)
+        records = trace.records
+        assert sorted(records) == ["a", "b"]
+        assert records["a"][0]["v"] == 1
+        assert records["b"][0].channel == "b"
+
+
+class TestTraceGates:
+    def test_master_gate_drops_everything(self):
+        trace = TraceRecorder()
+        trace.log(1, "c", v=1)
+        trace.enabled = False
+        trace.log(2, "c", v=2)
+        trace.log(3, "new", v=3)
+        trace.enabled = True
+        trace.log(4, "c", v=4)
+        assert trace.series("c", "v") == ([1, 4], [1, 4])
+        assert trace.channel("new") == []
+
+    def test_channel_gate_drops_only_that_channel(self):
+        trace = TraceRecorder()
+        trace.set_channel_enabled("noisy", False)
+        trace.log(1, "noisy", v=1)
+        trace.log(1, "kept", v=1)
+        assert not trace.channel_enabled("noisy")
+        assert trace.channel_enabled("kept")
+        assert len(trace) == 1
+        assert trace.series("kept", "v") == ([1], [1])
+
+    def test_disabling_keeps_already_logged_data(self):
+        trace = TraceRecorder()
+        trace.log(1, "c", v=1)
+        trace.set_channel_enabled("c", False)
+        trace.log(2, "c", v=2)  # dropped
+        assert trace.series("c", "v") == ([1], [1])
+        assert "c" in trace.channels()
+        trace.set_channel_enabled("c", True)
+        trace.log(3, "c", v=3)
+        assert trace.series("c", "v") == ([1, 3], [1, 3])
+
+    def test_reenabling_never_logged_channel_is_noop(self):
+        trace = TraceRecorder()
+        trace.set_channel_enabled("ghost", False)
+        trace.set_channel_enabled("ghost", True)
+        trace.log(5, "ghost", v=5)
+        assert trace.series("ghost", "v") == ([5], [5])

@@ -122,3 +122,57 @@ class TestTimeout:
         timeout = Timeout(sim, 10, lambda: None)
         with pytest.raises(SimulationError):
             timeout.restart(duration_ps=-5)
+
+
+class TestHeapBoundedness:
+    """Restart-heavy timers must keep O(live events) heap entries, not
+    O(total restarts) — the acceptance criterion for the engine overhaul."""
+
+    def test_timeout_restart_storm_keeps_one_entry(self):
+        sim = Simulator()
+        timeout = Timeout(sim, 500, lambda: None)
+        timeout.restart()
+        for _ in range(10_000):
+            timeout.restart()
+        assert sim.pending_events == 1
+
+    def test_periodic_restart_storm_keeps_one_entry(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 100, lambda: None, start=True)
+        for _ in range(10_000):
+            timer.start()
+        assert sim.pending_events == 1
+
+    def test_per_ack_rto_pattern_stays_bounded(self):
+        # The ConnectX/EventGenerator pattern: every "ACK" event restarts
+        # the flow's RTO.  The heap must stay O(flows), not O(acks).
+        sim = Simulator()
+        n_flows = 8
+        timeouts = [Timeout(sim, 1_000_000, lambda: None) for _ in range(n_flows)]
+        acks = []
+
+        def ack(i, n):
+            timeouts[i].restart()
+            acks.append(i)
+            if n < 500:
+                sim.after(100, ack, i, n + 1)
+
+        for i in range(n_flows):
+            sim.at(i, ack, i, 0)
+        sim.run(until_ps=200_000)
+        assert len(acks) > 3000
+        # One live RTO entry per flow plus at most a handful of deferral
+        # re-pushes in flight.
+        assert sim.live_events <= 2 * n_flows + 1
+        assert sim.pending_events <= 4 * n_flows + 64
+
+    def test_timer_fires_correctly_after_many_restarts(self):
+        sim = Simulator()
+        fired = []
+        timeout = Timeout(sim, 1000, lambda: fired.append(sim.now))
+        timeout.restart()
+        for t in range(1, 50):
+            sim.at(t * 10, timeout.restart)
+        sim.run()
+        # Last restart at t=490 -> fires at 1490.
+        assert fired == [1490]
