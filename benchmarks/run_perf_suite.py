@@ -5,7 +5,7 @@ Usage:
     PYTHONPATH=src python benchmarks/run_perf_suite.py \
         --baseline benchmarks/perf_baseline.json --check
 
-Writes ``BENCH_PR1.json`` unless ``--output`` says otherwise; see
+Writes ``BENCH_PR2.json`` unless ``--output`` says otherwise; see
 ``docs/PERFORMANCE.md`` for what each bench measures.
 """
 

@@ -9,15 +9,27 @@ K over a fan-in bottleneck and reports, per algorithm:
 * flow fairness,
 * peak queue backlog (too-large K -> standing queues and latency).
 
-Run:  python examples/congestion_sweep.py
+The (algorithm, K) grid points are independent simulations, so they are
+sharded across a ``repro.parallel.CampaignRunner`` process pool; pass a
+worker count as the first argument (default: all cores).
+
+Run:  python examples/congestion_sweep.py [workers]
 """
 
+import sys
+
 from repro import ControlPlane, TestConfig
+from repro.core.sweep import steady_state_flow_rates
 from repro.measure.fairness import jain_index
-from repro.units import GBPS, MS, US, format_rate
+from repro.parallel import CampaignRunner
+from repro.units import MS, US, format_rate
+
+THRESHOLDS = [20_000, 84_000, 400_000, 1_600_000]
+ALGORITHMS = ("dctcp", "dcqcn")
 
 
 def run_once(alg: str, ecn_threshold_bytes: int):
+    """One grid point (top level, so it pickles into pool workers)."""
     cp = ControlPlane()
     params = {"initial_ssthresh": 1024.0} if alg == "dctcp" else {}
     tester = cp.deploy(
@@ -29,12 +41,9 @@ def run_once(alg: str, ecn_threshold_bytes: int):
         tester.start_flow(port_index=src, dst_port_index=3, size_packets=10**9)
     cp.run(duration_ps=6 * MS)
 
-    rates = [
-        rate
-        for name, rate in sampler.samples[-1].rates_bps.items()
-        if name.startswith("flow")
-    ]
-    # Bottleneck queue: the fabric port facing the receiving test port.
+    # Average the second half of the sampled windows — a single window
+    # is noise (a flow mid-cut or mid-recovery skews the numbers).
+    rates = steady_state_flow_rates(sampler)
     assert cp.fabric is not None
     bottleneck = cp.fabric.ports[3]  # egress toward test port 3
     return {
@@ -47,13 +56,21 @@ def run_once(alg: str, ecn_threshold_bytes: int):
 
 
 def main() -> None:
-    thresholds = [20_000, 84_000, 400_000, 1_600_000]
-    for alg in ("dctcp", "dcqcn"):
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    grid = [(alg, k) for alg in ALGORITHMS for k in THRESHOLDS]
+    with CampaignRunner(workers=workers) as runner:
+        campaign = runner.run(run_once, grid)
+    rows = dict(zip(grid, campaign.values()))
+    stats = campaign.stats()
+    print(f"ran {stats['tasks']} simulations on {stats['workers']} worker(s) "
+          f"in {stats['campaign_wall_s']:.1f} s "
+          f"({stats['tasks_per_sec']:.2f} sims/s)")
+    for alg in ALGORITHMS:
         print(f"\n=== {alg.upper()}: ECN threshold sweep "
               f"(3 flows -> one 100 Gbps port) ===")
         header = None
-        for k in thresholds:
-            row = run_once(alg, k)
+        for k in THRESHOLDS:
+            row = rows[(alg, k)]
             if header is None:
                 header = list(row)
                 print("  ".join(f"{h:>16s}" for h in header))

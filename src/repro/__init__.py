@@ -33,6 +33,7 @@ from repro.cc import (
     create as create_cc,
     register as register_cc,
 )
+from repro.parallel import CampaignRunner
 from repro.sim import Simulator
 
 __version__ = "1.0.0"
@@ -42,6 +43,7 @@ __all__ = [
     "MarlinTester",
     "TestConfig",
     "Simulator",
+    "CampaignRunner",
     "CCAlgorithm",
     "available_cc",
     "create_cc",

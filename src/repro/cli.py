@@ -4,6 +4,8 @@ Gives operators the control-plane workflow without writing Python:
 
 * ``repro run``            — deploy a tester, run a traffic pattern,
   print measurements, optionally export CSV/JSON artifacts;
+* ``repro sweep``          — CC parameter sweep over a grid, sharded
+  across a process pool (``--workers N``);
 * ``repro amplification``  — the Section 3.3 arithmetic for an MTU;
 * ``repro capabilities``   — the Table 1 / Table 2 matrices;
 * ``repro resources``      — Table 4 estimates for a CC algorithm;
@@ -135,6 +137,77 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid_axes(specs: Sequence[str]) -> list[dict]:
+    """``name=v1,v2`` axes -> cartesian-product grid (values parsed as
+    int, then float, then kept as strings)."""
+    import itertools
+
+    def parse(token: str):
+        for cast in (int, float):
+            try:
+                return cast(token)
+            except ValueError:
+                continue
+        return token
+
+    axes: list[tuple[str, list]] = []
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        if not name or not values:
+            raise SystemExit(f"--param must look like name=v1,v2 (got {spec!r})")
+        axes.append((name, [parse(token) for token in values.split(",")]))
+    if not axes:
+        return [{}]
+    names = [name for name, _ in axes]
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(values for _, values in axes))
+    ]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import sweep_campaign
+
+    grid = _parse_grid_axes(args.param)
+    points, campaign = sweep_campaign(
+        args.algorithm,
+        grid,
+        n_senders=args.senders,
+        duration_ps=int(args.duration_ms * MS),
+        ecn_threshold_bytes=args.ecn_threshold,
+        workers=args.workers,
+        seeds=args.seeds,
+        seed=args.seed,
+    )
+    stats = campaign.stats()
+    print(
+        f"swept {len(points)} {args.algorithm} configuration(s) "
+        f"({stats['tasks']} simulation(s), {stats['workers']} worker(s), "
+        f"{stats['campaign_wall_s']:.1f} s wall, "
+        f"{stats['tasks_per_sec']:.2f} sims/s, "
+        f"{stats['events_total']:,} events)"
+    )
+    print(f"{'params':40s} {'throughput':>12s} {'fairness':>9s} "
+          f"{'peak queue':>11s} {'flows':>6s}")
+    for point in points:
+        label = ", ".join(f"{k}={v}" for k, v in point.params.items()) or "(defaults)"
+        print(f"{label:40s} {format_rate(point.throughput_bps):>12s} "
+              f"{point.fairness:>9.3f} {point.peak_queue_bytes // 1000:>9d}kB "
+              f"{point.flows_completed:>6d}")
+    if args.json is not None:
+        import dataclasses
+        import json
+
+        payload = {
+            "algorithm": args.algorithm,
+            "stats": stats,
+            "points": [dataclasses.asdict(point) for point in points],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _start_closed_loop(args: argparse.Namespace, tester) -> None:
     """Closed-loop generation from a named traffic model (Section 7.5)."""
     import numpy as np
@@ -212,6 +285,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON TestConfig file (overrides the individual options)",
     )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="CC parameter sweep, sharded across a process pool"
+    )
+    p_sweep.add_argument("--algorithm", default="dctcp")
+    p_sweep.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2",
+        help="one grid axis of CC parameter values; repeat for a "
+             "cartesian product (omit to sweep the single default point)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (1 = serial; results are identical)",
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, default=None,
+        help="seed replicates per grid point (aggregated into each row)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_sweep.add_argument("--senders", type=int, default=3)
+    p_sweep.add_argument("--duration-ms", type=float, default=6.0)
+    p_sweep.add_argument("--ecn-threshold", type=int, default=84_000)
+    p_sweep.add_argument("--json", default=None, help="write results as JSON")
     return parser
 
 
@@ -221,6 +320,7 @@ HANDLERS = {
     "capabilities": cmd_capabilities,
     "resources": cmd_resources,
     "run": cmd_run,
+    "sweep": cmd_sweep,
 }
 
 

@@ -17,7 +17,13 @@ from repro.core.capabilities import (
     tester_requirements_table,
 )
 from repro.core.multi_pipeline import MultiPipelineTester, scaling_table
-from repro.core.sweep import cc_parameter_sweep, max_lossless_rate_bps
+from repro.core.sweep import (
+    SweepPoint,
+    cc_parameter_sweep,
+    max_lossless_rate_bps,
+    run_sweep_point,
+    sweep_campaign,
+)
 
 __all__ = [
     "TestConfig",
@@ -32,6 +38,9 @@ __all__ = [
     "tester_requirements_table",
     "MultiPipelineTester",
     "scaling_table",
+    "SweepPoint",
     "cc_parameter_sweep",
     "max_lossless_rate_bps",
+    "run_sweep_point",
+    "sweep_campaign",
 ]

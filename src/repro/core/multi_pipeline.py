@@ -40,27 +40,54 @@ class ScalingRow:
     throughput_bps: int
 
 
+def scaling_row(
+    pipelines: int,
+    mtu_bytes: int = 1024,
+    *,
+    port_rate_bps: int = RATE_100G,
+) -> ScalingRow:
+    """One pipeline count's aggregate throughput (a pure top-level task
+    so scaling campaigns shard through :class:`~repro.parallel.CampaignRunner`)."""
+    per_pipeline = max_generated_rate_bps(mtu_bytes, port_rate_bps=port_rate_bps)
+    return ScalingRow(
+        pipelines=pipelines,
+        fpga_cards=-(-pipelines // FPGA_PORTS_PER_CARD),
+        test_ports=pipelines * (per_pipeline // port_rate_bps),
+        throughput_bps=pipelines * per_pipeline,
+    )
+
+
 def scaling_table(
     mtu_bytes: int = 1024,
     max_pipelines: int = 4,
     *,
     port_rate_bps: int = RATE_100G,
+    workers: int = 1,
 ) -> list[ScalingRow]:
     """Aggregate throughput vs pipeline count (each pipeline needs one
-    FPGA port; one card drives two pipelines)."""
-    per_pipeline = max_generated_rate_bps(mtu_bytes, port_rate_bps=port_rate_bps)
-    rows = []
-    for pipelines in range(1, max_pipelines + 1):
-        rows.append(
-            ScalingRow(
-                pipelines=pipelines,
-                fpga_cards=-(-pipelines // FPGA_PORTS_PER_CARD),
-                test_ports=pipelines
-                * (per_pipeline // port_rate_bps),
-                throughput_bps=pipelines * per_pipeline,
+    FPGA port; one card drives two pipelines).  Rows are independent, so
+    large tables (``workers > 1``) shard across a process pool like any
+    other campaign."""
+    if workers > 1:
+        from repro.parallel import CampaignRunner
+
+        with CampaignRunner(workers=workers) as runner:
+            campaign = runner.run(
+                scaling_row,
+                [
+                    {
+                        "pipelines": pipelines,
+                        "mtu_bytes": mtu_bytes,
+                        "port_rate_bps": port_rate_bps,
+                    }
+                    for pipelines in range(1, max_pipelines + 1)
+                ],
             )
-        )
-    return rows
+        return campaign.values()
+    return [
+        scaling_row(pipelines, mtu_bytes, port_rate_bps=port_rate_bps)
+        for pipelines in range(1, max_pipelines + 1)
+    ]
 
 
 class MultiPipelineTester:

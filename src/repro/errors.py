@@ -48,5 +48,10 @@ class PacketPoolError(ReproError):
     release while the pool's debug mode is on."""
 
 
+class CampaignError(ReproError):
+    """A sharded campaign (``repro.parallel``) was misconfigured, or one
+    of its tasks failed after exhausting its retries."""
+
+
 class PortAllocationError(ConfigError):
     """The requested port layout does not fit in a switch pipeline."""

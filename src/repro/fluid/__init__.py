@@ -8,6 +8,11 @@ fluid model is cross-validated against the packet simulator at small
 scale in the integration tests.
 """
 
+from repro.fluid.campaign import (
+    FluidCampaignPoint,
+    fluid_fct_campaign,
+    run_fluid_point,
+)
 from repro.fluid.ideal import ideal_fct_ps, ideal_fct_series_us
 from repro.fluid.model import (
     FluidCcProfile,
@@ -19,6 +24,9 @@ from repro.fluid.model import (
 )
 
 __all__ = [
+    "FluidCampaignPoint",
+    "fluid_fct_campaign",
+    "run_fluid_point",
     "ideal_fct_ps",
     "ideal_fct_series_us",
     "FluidCcProfile",

@@ -1,0 +1,123 @@
+"""Fluid-model FCT campaigns sharded across a process pool.
+
+The Figure 10 comprehensive test is a grid — CC algorithm × per-port
+flow count — of *independent* fluid runs, each sampling 10⁴–10⁵ flows.
+:func:`fluid_fct_campaign` maps that grid onto a
+:class:`~repro.parallel.CampaignRunner`, returning compact per-cell
+summaries (workers return summaries rather than raw FCT arrays so a
+large campaign does not ship megabytes of samples through the pipe).
+
+Per-cell seeds are spawned deterministically from the campaign seed and
+the cell's grid position, so campaign results are bit-identical at any
+worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fluid.model import FluidCcProfile, FluidSimulator
+from repro.parallel import CampaignResult, CampaignRunner, derive_task_seed, report_events
+from repro.units import RATE_100G
+from repro.workload.distributions import EmpiricalCdf
+
+
+@dataclass(frozen=True)
+class FluidCampaignPoint:
+    """Summary of one (profile, flows-per-port) campaign cell."""
+
+    algorithm: str
+    workload: str
+    flows_per_port: int
+    flows_total: int
+    mean_fct_us: float
+    p50_fct_us: float
+    p99_fct_us: float
+    throughput_bps: float
+
+
+def run_fluid_point(
+    profile: FluidCcProfile,
+    distribution: EmpiricalCdf,
+    *,
+    workload: str = "custom",
+    flows_per_port: int,
+    flows_total: int,
+    n_ports: int = 12,
+    port_capacity_bps: float = RATE_100G,
+    seed: int = 0,
+) -> FluidCampaignPoint:
+    """One campaign cell: a full fluid run reduced to its FCT summary.
+
+    Top-level and closure-free so it pickles into pool workers.
+    """
+    fluid = FluidSimulator(
+        n_ports=n_ports,
+        flows_per_port=flows_per_port,
+        port_capacity_bps=port_capacity_bps,
+        seed=seed,
+    )
+    result = fluid.run(profile, distribution, flows_total=flows_total)
+    report_events(result.total_flows)
+    fcts = result.fcts_us
+    return FluidCampaignPoint(
+        algorithm=profile.name,
+        workload=workload,
+        flows_per_port=flows_per_port,
+        flows_total=result.total_flows,
+        mean_fct_us=float(np.mean(fcts)) if fcts.size else 0.0,
+        p50_fct_us=float(np.percentile(fcts, 50)) if fcts.size else 0.0,
+        p99_fct_us=float(np.percentile(fcts, 99)) if fcts.size else 0.0,
+        throughput_bps=result.throughput_bps(),
+    )
+
+
+def fluid_fct_campaign(
+    profiles: Sequence[FluidCcProfile],
+    distribution: EmpiricalCdf,
+    *,
+    workload: str = "custom",
+    flows_per_port_levels: Sequence[int] = (8,),
+    flows_total: int = 50_000,
+    n_ports: int = 12,
+    port_capacity_bps: float = RATE_100G,
+    workers: int = 1,
+    seed: int = 0,
+    runner: Optional[CampaignRunner] = None,
+) -> tuple[list[FluidCampaignPoint], CampaignResult]:
+    """Run the profile × load grid, sharded across ``workers`` processes.
+
+    Cells come back in grid order (profiles major, load levels minor)
+    with the campaign's wall-clock/event statistics alongside.
+    """
+    if not profiles:
+        raise ConfigError("fluid campaign needs at least one CC profile")
+    if not flows_per_port_levels:
+        raise ConfigError("fluid campaign needs at least one load level")
+    tasks = []
+    for profile_index, profile in enumerate(profiles):
+        for level_index, flows_per_port in enumerate(flows_per_port_levels):
+            tasks.append(
+                {
+                    "profile": profile,
+                    "distribution": distribution,
+                    "workload": workload,
+                    "flows_per_port": flows_per_port,
+                    "flows_total": flows_total,
+                    "n_ports": n_ports,
+                    "port_capacity_bps": port_capacity_bps,
+                    "seed": derive_task_seed(seed, profile_index, level_index),
+                }
+            )
+    own_runner = runner is None
+    active = runner if runner is not None else CampaignRunner(workers=workers)
+    try:
+        campaign = active.run(run_fluid_point, tasks)
+    finally:
+        if own_runner:
+            active.close()
+    return campaign.values(), campaign

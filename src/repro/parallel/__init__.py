@@ -1,0 +1,41 @@
+"""Sharded campaign execution (the ROADMAP's scale-out layer).
+
+Marlin's operator story is running *many* configurations at high
+throughput to find the optimal one.  A single simulation is bound to one
+core, but campaign tasks — sweep grid points, seed replicates, fluid
+campaigns, scaling rows — are independent by construction, so the
+:class:`CampaignRunner` shards them across a process pool:
+
+* **chunked batching** — tasks are submitted in chunks so per-task IPC
+  overhead amortizes over a chunk;
+* **warm workers** — a pool initializer imports the heavy modules once
+  per worker, so every task after the first finds them hot;
+* **deterministic seeding** — per-task seeds are spawned from the
+  campaign seed and the task *index* (never from worker identity or
+  completion order), so results are bit-identical at any worker count;
+* **bounded failure** — per-task timeouts, straggler/crash retries with
+  exponential backoff, and structured per-task errors instead of a hung
+  pool or a lost campaign;
+* **ordered aggregation** — results come back in submission (grid)
+  order with per-task wall-clock and simulated-event statistics.
+"""
+
+from repro.parallel.runner import (
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    TaskError,
+    TaskResult,
+    derive_task_seed,
+    report_events,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRunner",
+    "TaskError",
+    "TaskResult",
+    "derive_task_seed",
+    "report_events",
+]

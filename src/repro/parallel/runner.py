@@ -1,0 +1,556 @@
+"""The process-pool campaign runner.
+
+Execution model
+---------------
+
+A *campaign* is an ordered list of independent tasks — one picklable
+top-level function applied to per-task arguments.  The runner submits
+tasks to a :class:`concurrent.futures.ProcessPoolExecutor` in chunks
+(amortizing IPC), tracks one deadline per chunk, and drives everything
+from a single wait loop that can never block forever:
+
+* a task raising inside the worker is an *application* error — it is
+  reported as a structured :class:`TaskError` immediately (re-running a
+  deterministic failure cannot help) without disturbing chunk-mates;
+* a worker process dying (segfault, OOM-kill, ``os._exit``) breaks the
+  pool — the pool is rebuilt and the affected tasks are retried, each
+  as its own single-task chunk, with exponential backoff;
+* a chunk overrunning its deadline is *abandoned* (its eventual result,
+  if any, is discarded) and its tasks are retried the same way; workers
+  still running abandoned work are terminated at teardown so a hung
+  simulation cannot hang the interpreter.
+
+Retries are bounded by ``max_retries``; a task that exhausts them gets
+a final structured error and the rest of the campaign completes anyway.
+
+Determinism
+-----------
+
+Per-task seeds are spawned from the campaign seed and the task *index*
+via :func:`numpy.random.SeedSequence` spawn keys, so a campaign's
+results are a pure function of ``(seed, task list)`` — never of worker
+count, chunking, or completion order.  ``workers<=1`` executes inline
+in the calling process (no pool, no pickling) and produces the same
+values.
+"""
+
+from __future__ import annotations
+
+import heapq
+import importlib
+import itertools
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from traceback import format_exception_only
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CampaignError
+
+#: Modules a pool initializer imports so every worker is warm before its
+#: first task (on ``spawn`` platforms this is the bulk of task latency;
+#: under ``fork`` the parent's imports are inherited and this is free).
+DEFAULT_PRELOAD = (
+    "numpy",
+    "repro.core.control_plane",
+    "repro.core.tester",
+    "repro.baselines.pswitch_tester",
+    "repro.fluid.model",
+    "repro.workload",
+)
+
+
+def derive_task_seed(campaign_seed: int, *spawn_key: int) -> int:
+    """Deterministic 63-bit seed for one task of a campaign.
+
+    Spawned from ``(campaign_seed, spawn_key)`` via ``SeedSequence`` so
+    distinct tasks get statistically independent streams and the value
+    depends only on the campaign seed and the task's position in the
+    grid — never on scheduling.
+    """
+    sequence = np.random.SeedSequence(entropy=campaign_seed, spawn_key=spawn_key)
+    return int(sequence.generate_state(1, np.uint64)[0] >> 1)
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Simulated-event count reported by the currently executing task (see
+#: :func:`report_events`); module-level because each worker process (and
+#: the inline path) runs one task at a time.
+_TASK_EVENTS = 0
+
+
+def report_events(n_events: int) -> None:
+    """Called by a task function to attach a simulated-event count to its
+    :class:`TaskResult` stats (e.g. ``report_events(sim.events_executed)``)."""
+    global _TASK_EVENTS
+    _TASK_EVENTS = int(n_events)
+
+
+def _warm_worker(preload: tuple[str, ...]) -> None:
+    """Pool initializer: import the heavy modules once per worker."""
+    for name in preload:
+        try:
+            importlib.import_module(name)
+        except ImportError:  # pragma: no cover - optional deps stay optional
+            pass
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    """One task, fully materialized (args include any derived seed)."""
+
+    index: int
+    args: tuple
+    kwargs: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class _RawOutcome:
+    """What one task execution produced, worker-side."""
+
+    index: int
+    ok: bool
+    value: Any
+    error: Optional[str]
+    wall_s: float
+    events: int
+    pid: int
+
+
+def _execute_one(fn: Callable[..., Any], spec: _TaskSpec) -> _RawOutcome:
+    """Run one task, catching application errors; shared by the worker
+    chunk loop and the inline (``workers<=1``) path."""
+    global _TASK_EVENTS
+    _TASK_EVENTS = 0
+    start = time.perf_counter()
+    try:
+        value = fn(*spec.args, **spec.kwargs)
+    except Exception as exc:
+        message = "".join(format_exception_only(exc)).strip()
+        return _RawOutcome(
+            spec.index, False, None, message,
+            time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
+        )
+    return _RawOutcome(
+        spec.index, True, value, None,
+        time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
+    )
+
+
+def _run_chunk(fn: Callable[..., Any], specs: list[_TaskSpec]) -> list[_RawOutcome]:
+    """Worker entry point: execute a chunk of tasks back to back."""
+    return [_execute_one(fn, spec) for spec in specs]
+
+
+# -- result model --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured failure record for one task."""
+
+    #: ``"exception"`` (task raised), ``"crash"`` (worker process died),
+    #: or ``"timeout"`` (task exceeded its deadline).
+    kind: str
+    message: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return f"[{self.kind} after {self.attempts} attempt(s)] {self.message}"
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One task's outcome, in campaign (grid) order."""
+
+    index: int
+    value: Any
+    error: Optional[TaskError]
+    wall_s: float
+    events: int
+    worker_pid: int
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """Ordered task results plus campaign-level statistics."""
+
+    results: list[TaskResult]
+    n_workers: int
+    chunk_size: int
+    wall_s: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def errors(self) -> list[TaskResult]:
+        return [result for result in self.results if not result.ok]
+
+    def values(self, *, strict: bool = True) -> list[Any]:
+        """Task return values in grid order.
+
+        With ``strict`` (the default) a failed task raises
+        :class:`CampaignError` naming every failure; otherwise failed
+        slots hold ``None``.
+        """
+        if strict and not self.ok:
+            lines = [
+                f"  task {result.index}: {result.error}" for result in self.errors
+            ]
+            raise CampaignError(
+                f"{len(self.errors)}/{len(self.results)} campaign task(s) "
+                "failed:\n" + "\n".join(lines)
+            )
+        return [result.value for result in self.results]
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate wall-clock / event statistics for reports."""
+        walls = [result.wall_s for result in self.results]
+        total_wall = sum(walls)
+        return {
+            "tasks": len(self.results),
+            "failed": len(self.errors),
+            "workers": self.n_workers,
+            "chunk_size": self.chunk_size,
+            "campaign_wall_s": self.wall_s,
+            "task_wall_s_total": total_wall,
+            "task_wall_s_max": max(walls, default=0.0),
+            "task_wall_s_mean": total_wall / len(walls) if walls else 0.0,
+            "events_total": sum(result.events for result in self.results),
+            "distinct_workers": len(
+                {result.worker_pid for result in self.results if result.ok}
+            ),
+            "tasks_per_sec": len(self.results) / self.wall_s if self.wall_s > 0 else 0.0,
+        }
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Shards independent tasks across a warm process pool.
+
+    ``workers=None`` uses every CPU; ``workers<=1`` runs inline (no
+    subprocesses, timeouts not enforced).  The executor is created
+    lazily and reused across :meth:`run` calls so workers stay warm for
+    multi-campaign sessions; call :meth:`close` (or use the runner as a
+    context manager) to release it.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        task_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        preload: tuple[str, ...] = DEFAULT_PRELOAD,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise CampaignError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise CampaignError(f"task_timeout_s must be positive, got {task_timeout_s}")
+        if max_retries < 0:
+            raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.task_timeout_s = task_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.preload = tuple(preload)
+        self.mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._stragglers = False
+
+    # -- executor lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (terminating any abandoned stragglers)."""
+        self._teardown_executor(force=self._stragglers)
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self.mp_context,
+                initializer=_warm_worker,
+                initargs=(self.preload,),
+            )
+        return self._executor
+
+    def _teardown_executor(self, *, force: bool) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        executor.shutdown(wait=not force, cancel_futures=True)
+        if force:
+            # Stragglers past their deadline (or a broken pool) must not
+            # keep the interpreter alive: kill what's left.
+            processes = list((getattr(executor, "_processes", None) or {}).values())
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+        self._stragglers = False
+
+    # -- task normalization ----------------------------------------------------
+
+    @staticmethod
+    def _normalize(
+        tasks: Sequence[Any],
+        seed: Optional[int],
+        seed_kwarg: str,
+    ) -> list[_TaskSpec]:
+        specs = []
+        for index, task in enumerate(tasks):
+            if isinstance(task, dict):
+                args, kwargs = (), dict(task)
+            elif isinstance(task, tuple):
+                args, kwargs = task, {}
+            else:
+                args, kwargs = (task,), {}
+            if seed is not None:
+                kwargs[seed_kwarg] = derive_task_seed(seed, index)
+            specs.append(_TaskSpec(index, args, kwargs))
+        return specs
+
+    def _effective_chunk_size(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # Aim for ~4 chunks per worker so stragglers rebalance, with at
+        # least one task per chunk.
+        return max(1, -(-n_tasks // (self.workers * 4)))
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        *,
+        seed: Optional[int] = None,
+        seed_kwarg: str = "seed",
+    ) -> CampaignResult:
+        """Apply ``fn`` to every task, sharded across the pool.
+
+        ``fn`` must be a picklable top-level function.  Each element of
+        ``tasks`` is a tuple (positional args), a dict (keyword args),
+        or any other object (a single positional arg).  When ``seed`` is
+        given, each task also receives ``seed_kwarg=<derived seed>``
+        where the derived value depends only on ``(seed, task index)``.
+        """
+        if not tasks:
+            raise CampaignError("a campaign needs at least one task")
+        specs = self._normalize(tasks, seed, seed_kwarg)
+        start = time.perf_counter()
+        if self.workers <= 1 or len(specs) == 1:
+            results = [
+                self._finalize(_execute_one(fn, spec), attempts=1) for spec in specs
+            ]
+            return CampaignResult(
+                results=results,
+                n_workers=1,
+                chunk_size=len(specs),
+                wall_s=time.perf_counter() - start,
+            )
+        chunk_size = self._effective_chunk_size(len(specs))
+        results_by_index = self._run_pooled(fn, specs, chunk_size)
+        return CampaignResult(
+            results=[results_by_index[index] for index in range(len(specs))],
+            n_workers=self.workers,
+            chunk_size=chunk_size,
+            wall_s=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _finalize(outcome: _RawOutcome, attempts: int) -> TaskResult:
+        error = None
+        if not outcome.ok:
+            error = TaskError("exception", outcome.error or "", attempts)
+        return TaskResult(
+            index=outcome.index,
+            value=outcome.value,
+            error=error,
+            wall_s=outcome.wall_s,
+            events=outcome.events,
+            worker_pid=outcome.pid,
+            attempts=attempts,
+        )
+
+    def _run_pooled(
+        self, fn: Callable[..., Any], specs: list[_TaskSpec], chunk_size: int
+    ) -> dict[int, TaskResult]:
+        final: dict[int, TaskResult] = {}
+        attempts: dict[int, int] = {spec.index: 0 for spec in specs}
+        inflight: dict[Future, list[_TaskSpec]] = {}
+        deadlines: dict[Future, float] = {}
+        # Backoff queue of (due_monotonic, tiebreak, spec) awaiting resubmit.
+        retry_queue: list[tuple[float, int, _TaskSpec]] = []
+        tiebreak = itertools.count()
+
+        def submit(chunk: list[_TaskSpec]) -> None:
+            for spec in chunk:
+                attempts[spec.index] += 1
+            try:
+                future = self._get_executor().submit(_run_chunk, fn, chunk)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool died between our wait and this submit: rebuild once.
+                self._teardown_executor(force=True)
+                future = self._get_executor().submit(_run_chunk, fn, chunk)
+            inflight[future] = chunk
+            if self.task_timeout_s is not None:
+                deadlines[future] = (
+                    time.monotonic() + self.task_timeout_s * len(chunk)
+                )
+
+        def fail(spec: _TaskSpec, kind: str, message: str) -> None:
+            """Retry an infra failure with backoff, or record it finally."""
+            used = attempts[spec.index]
+            if kind != "exception" and used <= self.max_retries:
+                delay = min(
+                    self.backoff_base_s * (2.0 ** (used - 1)), self.backoff_cap_s
+                )
+                heapq.heappush(
+                    retry_queue, (time.monotonic() + delay, next(tiebreak), spec)
+                )
+                return
+            final[spec.index] = TaskResult(
+                index=spec.index,
+                value=None,
+                error=TaskError(kind, message, used),
+                wall_s=0.0,
+                events=0,
+                worker_pid=0,
+                attempts=used,
+            )
+
+        try:
+            for position in range(0, len(specs), chunk_size):
+                submit(specs[position : position + chunk_size])
+
+            while len(final) < len(specs):
+                now = time.monotonic()
+                while retry_queue and retry_queue[0][0] <= now:
+                    _, _, spec = heapq.heappop(retry_queue)
+                    submit([spec])  # retries run solo: no chunk-mates at risk
+
+                wakeups = [deadline for deadline in deadlines.values()]
+                if retry_queue:
+                    wakeups.append(retry_queue[0][0])
+                poll = 0.25
+                if wakeups:
+                    poll = min(poll, max(min(wakeups) - now, 0.005))
+                if not inflight:
+                    if retry_queue:
+                        time.sleep(poll)
+                        continue
+                    raise CampaignError(
+                        "internal: campaign stalled with no inflight work"
+                    )  # pragma: no cover - loop invariant
+
+                done, _ = wait(
+                    list(inflight), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for future in done:
+                    chunk = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        message = (
+                            "".join(format_exception_only(exc)).strip()
+                            or "worker process died"
+                        )
+                        for spec in chunk:
+                            fail(spec, "crash", message)
+                    except Exception as exc:
+                        # Chunk-level application failure (e.g. the task's
+                        # return value failed to pickle): not retryable.
+                        for spec in chunk:
+                            fail(
+                                spec,
+                                "exception",
+                                "".join(format_exception_only(exc)).strip(),
+                            )
+                    else:
+                        for outcome in outcomes:
+                            if outcome.index in final:
+                                continue  # duplicate from an abandoned chunk
+                            if outcome.ok:
+                                final[outcome.index] = self._finalize(
+                                    outcome, attempts[outcome.index]
+                                )
+                            else:
+                                fail(
+                                    _spec_by_index(chunk, outcome.index),
+                                    "exception",
+                                    outcome.error or "",
+                                )
+
+                if self.task_timeout_s is not None:
+                    now = time.monotonic()
+                    for future, deadline in list(deadlines.items()):
+                        if now <= deadline or future not in inflight:
+                            continue
+                        chunk = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        future.cancel()  # only helps if still queued
+                        self._stragglers = True
+                        for spec in chunk:
+                            fail(
+                                spec,
+                                "timeout",
+                                f"task exceeded {self.task_timeout_s:.3f}s deadline",
+                            )
+
+                if pool_broken:
+                    # Remaining inflight chunks are doomed too: requeue them
+                    # on a fresh pool.
+                    doomed = list(inflight.items())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._teardown_executor(force=True)
+                    for _, chunk in doomed:
+                        for spec in chunk:
+                            if spec.index not in final:
+                                fail(spec, "crash", "worker pool broke mid-chunk")
+        finally:
+            if self._stragglers:
+                # Hung workers would survive a graceful shutdown.
+                self._teardown_executor(force=True)
+        return final
+
+
+def _spec_by_index(chunk: list[_TaskSpec], index: int) -> _TaskSpec:
+    for spec in chunk:
+        if spec.index == index:
+            return spec
+    raise CampaignError(f"internal: outcome for unknown task {index}")

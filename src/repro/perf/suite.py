@@ -2,11 +2,14 @@
 
 Times the three hot paths the engine overhaul targets — the raw event
 loop, the full SCHE->DATA->ACK->INFO datapath, and the fluid-model
-batch kernel — plus the two supporting paths (timer churn, trace
-logging).  Results are written as JSON (``BENCH_PR1.json`` by default)
-and optionally compared against a checked-in baseline: any guarded rate
-falling more than ``--tolerance`` (default 20%) below its baseline is a
-regression and the run exits non-zero.
+batch kernel — the two supporting paths (timer churn, trace logging),
+and the campaign layer (``parallel_speedup``: an identical sweep grid
+run serially and through the ``repro.parallel`` process pool, recording
+both throughputs and their ratio).  Results are written as JSON
+(``BENCH_PR2.json`` by default) and optionally compared against a
+checked-in baseline: any guarded rate falling more than ``--tolerance``
+(default 20%) below its baseline is a regression and the run exits
+non-zero.
 
 Rates are the best of ``--repeats`` rounds: wall-clock minimums are the
 standard way to suppress scheduler noise on shared machines.
@@ -32,6 +35,7 @@ GUARDED_RATES = (
     ("engine_event_rate", "events_per_sec"),
     ("datapath_rate", "packets_per_sec"),
     ("fluid_rate", "flows_per_sec"),
+    ("parallel_speedup", "points_per_sec"),
 )
 
 
@@ -167,6 +171,54 @@ def bench_fluid(flows_total: int = 50_000, repeats: int = 3) -> dict[str, Any]:
     return {"flows_per_sec": rate, "flows": flows, "repeats": repeats}
 
 
+def bench_parallel_speedup(
+    n_points: int = 8,
+    duration_us: int = 600,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """Serial vs sharded throughput for one sweep campaign.
+
+    The same ``n_points`` DCQCN grid runs once with ``workers=1`` and
+    once through the process pool; both are real end-to-end campaigns
+    (warm-up, wiring, simulation, aggregation).  ``speedup`` approaches
+    the worker count on an otherwise idle multi-core box and ~1.0 on a
+    single core (pool overhead is a few percent); ``points_per_sec`` —
+    the pooled campaign's throughput — is the guarded rate.
+    """
+    import os
+
+    from repro.core.sweep import sweep_campaign
+    from repro.units import GBPS
+
+    if workers is None:
+        workers = max(2, min(4, os.cpu_count() or 1))
+    grid = [{"rate_ai_bps": (index + 1) * GBPS} for index in range(n_points)]
+    common = dict(n_senders=2, duration_ps=duration_us * US)
+
+    serial_points, serial_campaign = sweep_campaign(
+        "dcqcn", grid, workers=1, **common
+    )
+    parallel_points, parallel_campaign = sweep_campaign(
+        "dcqcn", grid, workers=workers, **common
+    )
+    if serial_points != parallel_points:  # determinism is part of the contract
+        raise AssertionError("parallel sweep diverged from the serial run")
+
+    serial_s = serial_campaign.wall_s
+    parallel_s = parallel_campaign.wall_s
+    return {
+        "points_per_sec": n_points / parallel_s if parallel_s > 0 else 0.0,
+        "points_per_sec_serial": n_points / serial_s if serial_s > 0 else 0.0,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "points": n_points,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "events_total": parallel_campaign.stats()["events_total"],
+    }
+
+
 def bench_trace(n_records: int = 100_000, repeats: int = 3) -> dict[str, Any]:
     """Columnar trace append + series read-back."""
     from repro.sim import TraceRecorder
@@ -196,6 +248,9 @@ def run_suite(*, quick: bool = False, repeats: int = 5) -> dict[str, Any]:
         "datapath_rate": lambda: bench_datapath(200 // scale, min(repeats, 3)),
         "fluid_rate": lambda: bench_fluid(50_000 // scale, min(repeats, 3)),
         "trace_log_rate": lambda: bench_trace(100_000 // scale, min(repeats, 3)),
+        "parallel_speedup": lambda: bench_parallel_speedup(
+            8 // (2 if quick else 1), 600 // scale
+        ),
     }
     report: dict[str, Any] = {"schema": 1, "quick": quick, "benches": {}}
     for name, bench in benches.items():
@@ -228,8 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-bench", description="Run the perf-regression suite."
     )
     parser.add_argument(
-        "--output", type=Path, default=Path("BENCH_PR1.json"),
-        help="where to write the JSON report (default: BENCH_PR1.json)",
+        "--output", type=Path, default=Path("BENCH_PR2.json"),
+        help="where to write the JSON report (default: BENCH_PR2.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,

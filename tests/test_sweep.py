@@ -62,3 +62,9 @@ class TestCcParameterSweep:
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigError):
             cc_parameter_sweep("dctcp", [])
+
+    def test_bad_seed_replicates_rejected(self):
+        with pytest.raises(ConfigError):
+            cc_parameter_sweep("dctcp", [{}], seeds=0)
+        with pytest.raises(ConfigError):
+            cc_parameter_sweep("dctcp", [{}], seeds=[])
