@@ -6,18 +6,19 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Perf-regression suite: writes BENCH_PR2.json and fails if any guarded
-## rate drops >20% below benchmarks/perf_baseline.json.
+## Perf-regression suite: writes BENCH_PR3.json and fails if any guarded
+## rate drops >20% below benchmarks/perf_baseline.json (or the obs layer
+## exceeds its metrics-on overhead budget).
 bench:
 	$(PYTHON) benchmarks/run_perf_suite.py \
-		--output BENCH_PR2.json \
+		--output BENCH_PR3.json \
 		--baseline benchmarks/perf_baseline.json \
 		--check
 
 ## Quarter-size workloads for a fast smoke signal (same regression check).
 bench-quick:
 	$(PYTHON) benchmarks/run_perf_suite.py \
-		--output BENCH_PR2.json \
+		--output BENCH_PR3.json \
 		--baseline benchmarks/perf_baseline.json \
 		--check --quick
 

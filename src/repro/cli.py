@@ -5,7 +5,11 @@ Gives operators the control-plane workflow without writing Python:
 * ``repro run``            — deploy a tester, run a traffic pattern,
   print measurements, optionally export CSV/JSON artifacts;
 * ``repro sweep``          — CC parameter sweep over a grid, sharded
-  across a process pool (``--workers N``);
+  across a process pool (``--workers N``) with live per-task heartbeat
+  lines, ``--metrics-out`` (Prometheus/JSON), and ``--manifest``;
+* ``repro report``         — run a demo congestion scenario with the
+  sim-time profiler and full metrics instrumentation enabled, then
+  print the per-component wall-clock profile and key counters;
 * ``repro amplification``  — the Section 3.3 arithmetic for an MTU;
 * ``repro capabilities``   — the Table 1 / Table 2 matrices;
 * ``repro resources``      — Table 4 estimates for a CC algorithm;
@@ -31,6 +35,15 @@ from repro.fpga.hls import algorithm_cycles
 from repro.fpga.resources import estimate_resources
 from repro.fpga.timers import FrequencyControl
 from repro.measure.export import counters_to_json, fct_to_csv, throughput_to_csv
+from repro.obs import (
+    build_manifest,
+    instrument_control_plane,
+    sanitize_metric_name,
+    write_manifest,
+    write_metrics,
+)
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.metrics import MetricsRegistry
 from repro.units import MS, US, format_rate
 
 
@@ -104,6 +117,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     cp = ControlPlane()
     tester = cp.deploy(config)
     cp.wire_loopback_fabric()
+    registry = instrument_control_plane(cp) if args.metrics_out else None
     sampler = tester.enable_rate_sampling(period_ps=500 * US)
     if args.workload == "fixed":
         cp.start_flows(size_packets=args.size_packets, pattern=args.pattern)
@@ -134,6 +148,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  {fct_to_csv(tester.fct, out / 'fct.csv')}")
         print(f"  {throughput_to_csv(sampler, out / 'throughput.csv')}")
         print(f"  {counters_to_json(counters, out / 'counters.json')}")
+    if registry is not None:
+        print(f"wrote {write_metrics(registry, args.metrics_out)}")
     return 0
 
 
@@ -165,10 +181,52 @@ def _parse_grid_axes(specs: Sequence[str]) -> list[dict]:
     ]
 
 
+def _render_heartbeat(beat: Heartbeat) -> None:
+    """One live progress line per heartbeat (the ``[hb]`` stream)."""
+    state = "done" if beat.final else f"{beat.progress * 100:3.0f}%"
+    print(
+        f"[hb] task {beat.task_id} {state}  "
+        f"sim {beat.sim_now_ps / MS:.2f}/{beat.sim_until_ps / MS:.2f} ms  "
+        f"{beat.events_executed:,} events  pid {beat.pid}",
+        flush=True,
+    )
+
+
+def _campaign_metrics_registry(
+    final_beats: dict[int, Heartbeat], stats: dict
+) -> MetricsRegistry:
+    """Fold a campaign's final heartbeat counters plus its wall-clock
+    statistics into one exportable registry."""
+    registry = MetricsRegistry()
+    registry.counter("repro_campaign_tasks_total").value = stats["tasks"]
+    registry.counter("repro_campaign_tasks_failed_total").value = stats["failed"]
+    registry.counter("repro_campaign_events_total").value = stats["events_total"]
+    registry.gauge("repro_campaign_workers").value = stats["workers"]
+    registry.gauge("repro_campaign_wall_seconds").value = stats["campaign_wall_s"]
+    registry.gauge("repro_campaign_tasks_per_second").value = stats["tasks_per_sec"]
+    totals: dict[str, float] = {}
+    for beat in final_beats.values():
+        for key, value in beat.counters.items():
+            if isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0) + value
+    for key in sorted(totals):
+        name = sanitize_metric_name(f"repro_sweep_{key}_total")
+        registry.counter(name).value = totals[key]
+    return registry
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import sweep_campaign
 
     grid = _parse_grid_axes(args.param)
+    final_beats: dict[int, Heartbeat] = {}
+
+    def on_heartbeat(beat: Heartbeat) -> None:
+        if beat.final:
+            final_beats[beat.task_id] = beat
+        if not args.no_progress:
+            _render_heartbeat(beat)
+
     points, campaign = sweep_campaign(
         args.algorithm,
         grid,
@@ -178,6 +236,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         seeds=args.seeds,
         seed=args.seed,
+        on_heartbeat=on_heartbeat,
     )
     stats = campaign.stats()
     print(
@@ -205,6 +264,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         }
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+    if args.metrics_out is not None or args.manifest is not None:
+        registry = _campaign_metrics_registry(final_beats, stats)
+        if args.metrics_out is not None:
+            print(f"wrote {write_metrics(registry, args.metrics_out)}")
+        if args.manifest is not None:
+            config = {
+                "algorithm": args.algorithm,
+                "grid": grid,
+                "senders": args.senders,
+                "duration_ms": args.duration_ms,
+                "ecn_threshold": args.ecn_threshold,
+                "workers": args.workers,
+                "seeds": args.seeds,
+            }
+            manifest = build_manifest(
+                config,
+                seed=args.seed,
+                metrics=registry.snapshot(),
+                extra={"campaign": stats},
+            )
+            print(f"wrote {write_manifest(manifest, args.manifest)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Profile-and-counters report for one demo congestion scenario."""
+    cp = ControlPlane()
+    cp.deploy(
+        TestConfig(
+            cc_algorithm=args.algorithm,
+            n_test_ports=args.senders + 1,
+            seed=args.seed,
+        )
+    )
+    cp.wire_loopback_fabric(ecn_threshold_bytes=args.ecn_threshold)
+    registry = instrument_control_plane(cp)
+    cp.sim.enable_profiling()
+    cp.start_flows(size_packets=args.size_packets, pattern="fan_in")
+    cp.run(duration_ps=int(args.duration_ms * MS))
+    profile = cp.sim.profile()
+
+    def family(name: str) -> float:
+        return sum(s.value for s in registry.collect() if s.name == name)
+
+    print(
+        f"profiled {args.algorithm} fan-in ({args.senders} senders, "
+        f"{args.duration_ms} ms): {cp.sim.events_executed:,} events, "
+        f"{profile.total_seconds:.3f} s in callbacks"
+    )
+    print()
+    print(profile.table(top_n=args.top))
+    print()
+    print("fabric queues (all ports):")
+    print(f"  enqueued  : {family('repro_queue_enqueued_packets_total'):,.0f} packets "
+          f"/ {family('repro_queue_enqueued_bytes_total'):,.0f} B")
+    print(f"  dropped   : {family('repro_queue_dropped_packets_total'):,.0f} packets "
+          f"/ {family('repro_queue_dropped_bytes_total'):,.0f} B")
+    print(f"  ECN marks : {family('repro_queue_ecn_marked_packets_total'):,.0f}")
+    print("amplification path:")
+    print(f"  SCHE accepted/dropped : "
+          f"{family('repro_pswitch_sche_accepted_total'):,.0f} / "
+          f"{family('repro_pswitch_sche_dropped_total'):,.0f}")
+    print(f"  DATA generated        : "
+          f"{family('repro_pswitch_data_generated_total'):,.0f}")
+    print(f"  ACKs compressed       : "
+          f"{family('repro_pswitch_acks_compressed_total'):,.0f} -> "
+          f"{family('repro_pswitch_infos_generated_total'):,.0f} INFOs")
+    print("engine:")
+    print(f"  events executed/cancelled : "
+          f"{family('repro_sim_events_executed_total'):,.0f} / "
+          f"{family('repro_sim_events_cancelled_total'):,.0f}")
+    if args.metrics_out is not None:
+        print(f"wrote {write_metrics(registry, args.metrics_out)}")
     return 0
 
 
@@ -281,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", action="store_true")
     p_run.add_argument("--export-dir", default=None)
     p_run.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a final metrics snapshot (.prom/.txt Prometheus, else JSON)",
+    )
+    p_run.add_argument(
         "--config",
         default=None,
         help="JSON TestConfig file (overrides the individual options)",
@@ -311,6 +448,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--duration-ms", type=float, default=6.0)
     p_sweep.add_argument("--ecn-threshold", type=int, default=84_000)
     p_sweep.add_argument("--json", default=None, help="write results as JSON")
+    p_sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write campaign metrics (.prom/.txt Prometheus, else JSON)",
+    )
+    p_sweep.add_argument(
+        "--manifest",
+        default=None,
+        help="write a run manifest (config hash, seed, git sha, metrics)",
+    )
+    p_sweep.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress live [hb] heartbeat lines",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="profile a demo scenario and print metrics"
+    )
+    p_report.add_argument("--algorithm", default="dctcp")
+    p_report.add_argument("--senders", type=int, default=3)
+    p_report.add_argument("--size-packets", type=int, default=10**9)
+    p_report.add_argument("--duration-ms", type=float, default=2.0)
+    p_report.add_argument("--ecn-threshold", type=int, default=84_000)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--top", type=int, default=12,
+                          help="profile rows to print")
+    p_report.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write the full metrics snapshot (.prom/.txt/JSON)",
+    )
     return parser
 
 
@@ -321,6 +490,7 @@ HANDLERS = {
     "resources": cmd_resources,
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "report": cmd_report,
 }
 
 

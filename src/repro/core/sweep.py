@@ -21,7 +21,7 @@ wall-clock/event statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.baselines.pswitch_tester import PswitchTester
 from repro.core.config import TestConfig
@@ -31,6 +31,7 @@ from repro.measure.fairness import jain_index
 from repro.measure.throughput import ThroughputSampler
 from repro.net.switch import NetworkSwitch
 from repro.net.topology import Topology
+from repro.obs.heartbeat import Heartbeat, run_with_heartbeats
 from repro.parallel import CampaignResult, CampaignRunner, derive_task_seed, report_events
 from repro.sim import Simulator
 from repro.units import GBPS, MS, RATE_100G, US
@@ -157,7 +158,10 @@ def run_sweep_point(
     cp.wire_loopback_fabric(ecn_threshold_bytes=ecn_threshold_bytes)
     sampler = tester.enable_rate_sampling(period_ps=500 * US)
     cp.start_flows(size_packets=size_packets, pattern="fan_in")
-    cp.run(duration_ps=duration_ps)
+    # Heartbeat-aware run: slices wall-clock execution (never the sim
+    # timeline) so a campaign listener sees live progress; without a
+    # configured sink this is exactly ``cp.run(duration_ps=...)``.
+    run_with_heartbeats(cp.sim, duration_ps, counters_fn=cp.read_measurements)
     rates = steady_state_flow_rates(sampler)
     if cp.fabric is None:
         raise ConfigError("sweep scenario has no fabric wired")
@@ -215,6 +219,7 @@ def sweep_campaign(
     seeds: Union[int, Sequence[int], None] = None,
     seed: int = 0,
     runner: Optional[CampaignRunner] = None,
+    on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
 ) -> tuple[list[SweepPoint], CampaignResult]:
     """:func:`cc_parameter_sweep` plus the underlying campaign statistics.
 
@@ -222,6 +227,9 @@ def sweep_campaign(
     sharded across ``workers`` processes; replicate seeds are spawned
     deterministically from ``seed`` (or taken verbatim from a ``seeds``
     sequence), so any worker count produces bit-identical points.
+    ``on_heartbeat`` streams live :class:`Heartbeat` progress snapshots
+    from running tasks (rendered by ``repro sweep``); heartbeats never
+    alter the simulated event stream, so results are unchanged.
     """
     if not param_grid:
         raise ConfigError("param_grid must contain at least one setting")
@@ -245,7 +253,7 @@ def sweep_campaign(
     own_runner = runner is None
     active = runner if runner is not None else CampaignRunner(workers=workers)
     try:
-        campaign = active.run(_sweep_task, tasks)
+        campaign = active.run(_sweep_task, tasks, on_heartbeat=on_heartbeat)
     finally:
         if own_runner:
             active.close()
@@ -278,6 +286,7 @@ def cc_parameter_sweep(
     seeds: Union[int, Sequence[int], None] = None,
     seed: int = 0,
     runner: Optional[CampaignRunner] = None,
+    on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
 ) -> list[SweepPoint]:
     """Run a fan-in congestion scenario for each parameter setting.
 
@@ -299,5 +308,6 @@ def cc_parameter_sweep(
         seeds=seeds,
         seed=seed,
         runner=runner,
+        on_heartbeat=on_heartbeat,
     )
     return points

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import CCModuleError
+from repro.obs.metrics import Histogram
 from repro.sim.trace import TraceRecorder
 
 #: Per-record payload budget (excluding the hardware timestamp).
@@ -30,13 +31,36 @@ RECORDS_PER_UPLOAD = UPLOAD_PACKET_BYTES // RECORD_BYTES
 
 
 class QdmaLogger:
-    """16 B record logger with 1,024 B upload aggregation."""
+    """16 B record logger with 1,024 B upload aggregation.
+
+    Upload accounting mirrors what the host's DPDK receive loop would
+    see: ``uploads`` counts packets, ``upload_bytes`` counts payload
+    bytes (full batches carry :data:`UPLOAD_PACKET_BYTES`; a flushed
+    partial batch carries only its records), and ``batch_records`` is a
+    log2 histogram of records per upload.  Partial-batch state is
+    exposed via :attr:`pending_records` / :attr:`pending_bytes` (and the
+    metrics registry through
+    :func:`repro.obs.instrument.instrument_qdma`) rather than being a
+    private bare int.  ``flush()`` on an empty logger uploads nothing.
+    """
 
     def __init__(self, trace: TraceRecorder | None = None) -> None:
         self.trace = trace if trace is not None else TraceRecorder()
         self.records_logged = 0
         self.uploads = 0
+        self.upload_bytes = 0
+        self.batch_records = Histogram("repro_qdma_batch_records", {}, n_buckets=8)
         self._pending_records = 0
+
+    @property
+    def pending_records(self) -> int:
+        """Records aggregated but not yet uploaded (the partial batch)."""
+        return self._pending_records
+
+    @property
+    def pending_bytes(self) -> int:
+        """Payload bytes sitting in the partial batch."""
+        return self._pending_records * RECORD_BYTES
 
     def log(self, time_ps: int, channel: str, **values: Any) -> None:
         """Log one record; raises if it exceeds the 16-byte budget."""
@@ -50,14 +74,18 @@ class QdmaLogger:
         self.records_logged += 1
         self._pending_records += 1
         if self._pending_records >= RECORDS_PER_UPLOAD:
-            self._pending_records = 0
-            self.uploads += 1
+            self._upload(self._pending_records)
 
     def flush(self) -> None:
-        """Upload any partial batch (end of test)."""
+        """Upload any partial batch (end of test); a no-op when empty."""
         if self._pending_records > 0:
-            self._pending_records = 0
-            self.uploads += 1
+            self._upload(self._pending_records)
+
+    def _upload(self, n_records: int) -> None:
+        self._pending_records = 0
+        self.uploads += 1
+        self.upload_bytes += n_records * RECORD_BYTES
+        self.batch_records.observe(n_records)
 
     def series(self, channel: str, key: str) -> tuple[list[int], list[Any]]:
         """Convenience passthrough to the backing trace."""

@@ -4,6 +4,11 @@ The control plane "retrieves data ... to evaluate the network
 performance" (Section 3.2); downstream users then want those artifacts
 in tool-friendly formats.  Everything here writes plain stdlib CSV/JSON
 — no extra dependencies — and every writer returns the path it wrote.
+
+Empty collectors still produce valid artifacts: the CSV writers emit
+their header row and the JSON writers an empty object, so downstream
+tooling (and the round-trip tests in ``tests/test_measure_export.py``)
+never special-case a run that recorded nothing.
 """
 
 from __future__ import annotations
@@ -58,6 +63,15 @@ def throughput_to_csv(sampler: ThroughputSampler, path: PathLike) -> Path:
     return path
 
 
+def _json_default(value: object) -> Union[float, str]:
+    """Coerce non-JSON values: numerics (numpy scalars) to float,
+    anything else to its string form rather than crashing the export."""
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return str(value)
+
+
 def trace_to_json(trace: TraceRecorder, path: PathLike) -> Path:
     """All channels of a trace (e.g. the QDMA log) as one JSON object."""
     path = Path(path)
@@ -68,12 +82,14 @@ def trace_to_json(trace: TraceRecorder, path: PathLike) -> Path:
         ]
         for channel in trace.channels()
     }
-    path.write_text(json.dumps(payload, indent=1, default=float))
+    path.write_text(json.dumps(payload, indent=1, default=_json_default) + "\n")
     return path
 
 
 def counters_to_json(counters: dict[str, int], path: PathLike) -> Path:
     """The merged hardware-register snapshot."""
     path = Path(path)
-    path.write_text(json.dumps(counters, indent=1, sort_keys=True))
+    path.write_text(
+        json.dumps(counters, indent=1, sort_keys=True, default=_json_default) + "\n"
+    )
     return path

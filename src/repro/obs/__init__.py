@@ -1,0 +1,72 @@
+"""Cross-cutting observability: metrics, profiling, campaign telemetry.
+
+Marlin's control plane exists to "retrieve data ... to evaluate the
+network performance" (paper Section 3.2); ``repro.obs`` is that
+retrieval layer for the tester *itself*.  Three pillars:
+
+* :mod:`repro.obs.metrics` — a Counter/Gauge/Histogram registry with
+  lazy attribute bindings, so instrumentation costs the hot path
+  nothing (guarded by the ``obs_overhead`` bench);
+* :mod:`repro.obs.profile` — opt-in wall-clock attribution per event
+  callback owner (``sim.enable_profiling()`` / ``sim.profile()`` /
+  ``repro report``);
+* :mod:`repro.obs.heartbeat` — live progress snapshots streamed from
+  campaign workers to the parent (``repro sweep`` renders them), with
+  :mod:`repro.obs.manifest` stamping every run for comparability.
+
+Export formats (JSON / Prometheus text) live in :mod:`repro.obs.export`.
+"""
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    sanitize_metric_name,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.obs.heartbeat import Heartbeat, run_with_heartbeats
+from repro.obs.instrument import (
+    instrument_control_plane,
+    instrument_engine,
+    instrument_fifo,
+    instrument_network_switch,
+    instrument_packet_pool,
+    instrument_pfc,
+    instrument_qdma,
+    instrument_queue,
+    instrument_tester,
+)
+from repro.obs.manifest import build_manifest, config_hash, environment, write_manifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sample
+from repro.obs.profile import ProfileReport, ProfileRow, SimProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "SimProfiler",
+    "ProfileReport",
+    "ProfileRow",
+    "Heartbeat",
+    "run_with_heartbeats",
+    "to_prometheus",
+    "to_json",
+    "write_metrics",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+    "build_manifest",
+    "write_manifest",
+    "config_hash",
+    "environment",
+    "instrument_control_plane",
+    "instrument_engine",
+    "instrument_fifo",
+    "instrument_network_switch",
+    "instrument_packet_pool",
+    "instrument_pfc",
+    "instrument_qdma",
+    "instrument_queue",
+    "instrument_tester",
+]

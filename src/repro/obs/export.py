@@ -1,0 +1,148 @@
+"""Metric export: JSON and Prometheus text exposition format.
+
+``to_prometheus`` emits the text format scrapers understand
+(`# TYPE` comments plus ``name{label="value"} number`` samples);
+``parse_prometheus_text`` is the matching grammar-level parser, used by
+the tests to prove the output round-trips and available to callers that
+want to diff two snapshots.  ``write_metrics`` picks the format from the
+file suffix, which is what backs the CLI ``--metrics-out`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Union
+
+from repro.obs.metrics import MetricsRegistry, Number
+
+PathLike = Union[str, Path]
+
+#: Prometheus metric-name and label-name grammar (the exposition format's
+#: EBNF, abbreviated): names are ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf|NaN))$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(raw: str) -> str:
+    """Map an arbitrary counter key (``switch.data_generated``) onto the
+    Prometheus name grammar."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+    if not name or not _NAME_RE.fullmatch(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_value(value: Number) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus text exposition format."""
+    kinds = registry.kinds()
+    lines: list[str] = []
+    seen_type: set[str] = set()
+    for sample in registry.collect():
+        family = sample.name
+        if sample.kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix):
+                    family = family[: -len(suffix)]
+                    break
+        if family not in seen_type:
+            seen_type.add(family)
+            lines.append(f"# TYPE {family} {kinds.get(family, sample.kind)}")
+        if sample.labels:
+            label_text = ",".join(
+                f'{key}="{_escape_label_value(str(value))}"'
+                for key, value in sorted(sample.labels.items())
+            )
+            lines.append(f"{sample.name}{{{label_text}}} {_format_value(sample.value)}")
+        else:
+            lines.append(f"{sample.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, *, indent: int = 1) -> str:
+    """The registry's flat snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True) + "\n"
+
+
+def write_metrics(registry: MetricsRegistry, path: PathLike) -> Path:
+    """Write the registry to ``path``: ``.prom``/``.txt`` selects the
+    Prometheus text format, anything else JSON.  Returns the path."""
+    path = Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry))
+    else:
+        path.write_text(to_json(registry))
+    return path
+
+
+def parse_prometheus_text(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse Prometheus text exposition format at the grammar level.
+
+    Returns ``(name, labels, value)`` tuples in input order; raises
+    :class:`ValueError` (with the offending line) on anything that does
+    not match the sample or comment grammar.  This is a validator, not a
+    full client: ``# HELP``/``# TYPE`` comments are checked for shape and
+    skipped.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {line_no}: malformed comment {line!r}")
+            if parts[1] == "TYPE" and not _NAME_RE.fullmatch(parts[2]):
+                raise ValueError(f"line {line_no}: bad metric name {parts[2]!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        labels: dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            # Labels must tile the whole body: name="value" pairs joined
+            # by commas (a trailing comma is legal in the format).
+            pos = 0
+            while pos < len(label_text):
+                pair = _LABEL_RE.match(label_text, pos)
+                if pair is None:
+                    raise ValueError(
+                        f"line {line_no}: malformed labels {label_text!r}"
+                    )
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                pos = pair.end()
+                if pos < len(label_text):
+                    if label_text[pos] != ",":
+                        raise ValueError(
+                            f"line {line_no}: malformed labels {label_text!r}"
+                        )
+                    pos += 1
+        samples.append((match.group("name"), labels, float(match.group("value"))))
+    return samples

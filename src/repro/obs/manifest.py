@@ -1,0 +1,90 @@
+"""Run manifests: who/what/where for every campaign and bench artifact.
+
+A manifest makes two runs comparable: it stamps the exact configuration
+(hashed canonically), the code version (git SHA), and the execution
+environment (python version, platform, CPU count).  ``repro sweep``
+writes one per campaign; the perf suite embeds the same environment
+block in every BENCH_*.json so rate trajectories can be attributed to
+the right machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+def config_hash(config: dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON form of ``config`` (sorted keys, no
+    whitespace), so semantically equal configs hash equal."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current HEAD commit, or None outside a repo / without git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def environment() -> dict[str, Any]:
+    """The execution-environment block shared by manifests and bench
+    reports (satellite: BENCH_*.json comparability across machines)."""
+    return {
+        "git_sha": git_sha(),
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_manifest(
+    config: dict[str, Any],
+    *,
+    seed: Optional[int] = None,
+    metrics: Optional[dict[str, Any]] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Assemble a per-run manifest.
+
+    ``config`` is the run's full parameterization (hashed into
+    ``config_hash``); ``metrics`` is the final metric snapshot;
+    ``extra`` merges arbitrary run outputs (campaign stats, artifact
+    paths).
+    """
+    manifest: dict[str, Any] = {
+        "schema": 1,
+        "created_unix": time.time(),
+        "config": config,
+        "config_hash": config_hash(config),
+        "seed": seed,
+        "environment": environment(),
+    }
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(manifest: dict[str, Any], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=1, sort_keys=True, default=str) + "\n")
+    return path

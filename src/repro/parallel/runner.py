@@ -39,7 +39,9 @@ from __future__ import annotations
 import heapq
 import importlib
 import itertools
+import multiprocessing
 import os
+import queue as queue_module
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -50,6 +52,8 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import CampaignError
+from repro.obs import heartbeat as _heartbeat
+from repro.obs.heartbeat import Heartbeat
 
 #: Modules a pool initializer imports so every worker is warm before its
 #: first task (on ``spawn`` platforms this is the bulk of task latency;
@@ -91,13 +95,15 @@ def report_events(n_events: int) -> None:
     _TASK_EVENTS = int(n_events)
 
 
-def _warm_worker(preload: tuple[str, ...]) -> None:
-    """Pool initializer: import the heavy modules once per worker."""
+def _warm_worker(preload: tuple[str, ...], heartbeat_sink: Any = None) -> None:
+    """Pool initializer: import the heavy modules once per worker and
+    install the campaign's heartbeat sink (a manager-queue proxy)."""
     for name in preload:
         try:
             importlib.import_module(name)
         except ImportError:  # pragma: no cover - optional deps stay optional
             pass
+    _heartbeat.configure(heartbeat_sink)
 
 
 @dataclass(frozen=True)
@@ -127,6 +133,7 @@ def _execute_one(fn: Callable[..., Any], spec: _TaskSpec) -> _RawOutcome:
     chunk loop and the inline (``workers<=1``) path."""
     global _TASK_EVENTS
     _TASK_EVENTS = 0
+    _heartbeat.set_task(spec.index)
     start = time.perf_counter()
     try:
         value = fn(*spec.args, **spec.kwargs)
@@ -136,6 +143,8 @@ def _execute_one(fn: Callable[..., Any], spec: _TaskSpec) -> _RawOutcome:
             spec.index, False, None, message,
             time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
         )
+    finally:
+        _heartbeat.set_task(None)
     return _RawOutcome(
         spec.index, True, value, None,
         time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
@@ -280,6 +289,13 @@ class CampaignRunner:
         self.mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
         self._stragglers = False
+        #: Heartbeat transport: a manager-queue proxy handed to workers
+        #: (created lazily on the first run() with on_heartbeat set).
+        self._manager: Optional[Any] = None
+        self._hb_queue: Optional[Any] = None
+        #: The queue the live executor's workers were initialized with;
+        #: a mismatch forces a pool rebuild.
+        self._executor_hb_queue: Optional[Any] = None
 
     # -- executor lifecycle ----------------------------------------------------
 
@@ -292,6 +308,10 @@ class CampaignRunner:
     def close(self) -> None:
         """Shut the pool down (terminating any abandoned stragglers)."""
         self._teardown_executor(force=self._stragglers)
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._hb_queue = None
 
     def _get_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -299,9 +319,38 @@ class CampaignRunner:
                 max_workers=self.workers,
                 mp_context=self.mp_context,
                 initializer=_warm_worker,
-                initargs=(self.preload,),
+                initargs=(self.preload, self._hb_queue),
             )
+            self._executor_hb_queue = self._hb_queue
         return self._executor
+
+    def _ensure_heartbeat_queue(self) -> None:
+        """Provision the worker-side heartbeat transport.
+
+        A ``multiprocessing.Manager`` queue proxy is picklable, so it
+        passes through the executor's initializer under both fork and
+        spawn.  Workers warmed without the queue can't stream, so a
+        stale pool is rebuilt once.
+        """
+        if self._hb_queue is None:
+            self._manager = multiprocessing.Manager()
+            self._hb_queue = self._manager.Queue()
+        if self._executor is not None and self._executor_hb_queue is not self._hb_queue:
+            self._teardown_executor(force=False)
+
+    def _drain_heartbeats(self, on_heartbeat: Callable[[Heartbeat], None]) -> None:
+        """Forward every queued heartbeat to the campaign's callback."""
+        hb_queue = self._hb_queue
+        if hb_queue is None:
+            return
+        while True:
+            try:
+                beat = hb_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except (OSError, EOFError, BrokenPipeError):  # manager died
+                return
+            on_heartbeat(beat)
 
     def _teardown_executor(self, *, force: bool) -> None:
         executor, self._executor = self._executor, None
@@ -356,6 +405,7 @@ class CampaignRunner:
         *,
         seed: Optional[int] = None,
         seed_kwarg: str = "seed",
+        on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
     ) -> CampaignResult:
         """Apply ``fn`` to every task, sharded across the pool.
 
@@ -364,23 +414,41 @@ class CampaignRunner:
         or any other object (a single positional arg).  When ``seed`` is
         given, each task also receives ``seed_kwarg=<derived seed>``
         where the derived value depends only on ``(seed, task index)``.
+
+        ``on_heartbeat`` receives :class:`~repro.obs.heartbeat.Heartbeat`
+        snapshots streamed by tasks that call
+        :func:`repro.obs.heartbeat.run_with_heartbeats` — live on the
+        pooled path (drained between waits), synchronously inline.
+        Heartbeats only slice wall-clock execution, never the simulated
+        timeline, so results are identical with or without a listener.
         """
         if not tasks:
             raise CampaignError("a campaign needs at least one task")
         specs = self._normalize(tasks, seed, seed_kwarg)
         start = time.perf_counter()
         if self.workers <= 1 or len(specs) == 1:
-            results = [
-                self._finalize(_execute_one(fn, spec), attempts=1) for spec in specs
-            ]
+            _heartbeat.configure(on_heartbeat)
+            try:
+                results = [
+                    self._finalize(_execute_one(fn, spec), attempts=1)
+                    for spec in specs
+                ]
+            finally:
+                _heartbeat.configure(None)
             return CampaignResult(
                 results=results,
                 n_workers=1,
                 chunk_size=len(specs),
                 wall_s=time.perf_counter() - start,
             )
+        if on_heartbeat is not None:
+            self._ensure_heartbeat_queue()
         chunk_size = self._effective_chunk_size(len(specs))
-        results_by_index = self._run_pooled(fn, specs, chunk_size)
+        results_by_index = self._run_pooled(
+            fn, specs, chunk_size, on_heartbeat=on_heartbeat
+        )
+        if on_heartbeat is not None:
+            self._drain_heartbeats(on_heartbeat)
         return CampaignResult(
             results=[results_by_index[index] for index in range(len(specs))],
             n_workers=self.workers,
@@ -404,7 +472,11 @@ class CampaignRunner:
         )
 
     def _run_pooled(
-        self, fn: Callable[..., Any], specs: list[_TaskSpec], chunk_size: int
+        self,
+        fn: Callable[..., Any],
+        specs: list[_TaskSpec],
+        chunk_size: int,
+        on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
     ) -> dict[int, TaskResult]:
         final: dict[int, TaskResult] = {}
         attempts: dict[int, int] = {spec.index: 0 for spec in specs}
@@ -477,6 +549,8 @@ class CampaignRunner:
                 done, _ = wait(
                     list(inflight), timeout=poll, return_when=FIRST_COMPLETED
                 )
+                if on_heartbeat is not None:
+                    self._drain_heartbeats(on_heartbeat)
                 pool_broken = False
                 for future in done:
                     chunk = inflight.pop(future)

@@ -5,8 +5,11 @@ loop, the full SCHE->DATA->ACK->INFO datapath, and the fluid-model
 batch kernel — the two supporting paths (timer churn, trace logging),
 and the campaign layer (``parallel_speedup``: an identical sweep grid
 run serially and through the ``repro.parallel`` process pool, recording
-both throughputs and their ratio).  Results are written as JSON
-(``BENCH_PR2.json`` by default) and optionally compared against a
+both throughputs and their ratio), plus ``obs_overhead`` (the same
+event chain metrics-off vs metrics-on, guarding the observability
+layer's <= 5% budget).  Results are stamped with the execution
+environment and written as JSON (``BENCH_PR3.json`` by default),
+optionally compared against a
 checked-in baseline: any guarded rate falling more than ``--tolerance``
 (default 20%) below its baseline is a regression and the run exits
 non-zero.
@@ -219,6 +222,101 @@ def bench_parallel_speedup(
     }
 
 
+def bench_obs_overhead(n_events: int = 20_000, repeats: int = 5) -> dict[str, Any]:
+    """Metrics-on vs metrics-off cost of the instrumented event loop.
+
+    Three variants of the same self-rescheduling tick chain, rounds
+    interleaved so machine drift hits all variants equally:
+
+    * ``off``  — the plain engine, nothing bound;
+    * ``on``   — the obs design point: a registry of lazy bindings over
+      engine state, collected once at the end (exactly what
+      ``--metrics-out`` does).  The guarded ``overhead_frac`` compares
+      this against ``off`` — lazy bindings must not slow the loop
+      (baseline budget ``max_overhead_frac``, ISSUE acceptance <= 5%);
+    * ``live`` — additionally increments one ``Counter`` inside the
+      callback.  Reported unguarded as ``live_counter_overhead_frac``:
+      it prices a single attribute store against a *degenerate* empty
+      callback, the worst case a warm-path counter can ever hit.
+    """
+    from repro.obs.instrument import instrument_engine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim import Simulator
+
+    horizon = n_events * 1000
+
+    def chain(sim: Any, extra: Callable[[], None] | None = None) -> None:
+        if extra is None:
+            def tick() -> None:
+                if sim.now < horizon:
+                    sim.after(1000, tick)
+        else:
+            def tick() -> None:
+                extra()
+                if sim.now < horizon:
+                    sim.after(1000, tick)
+        sim.at(0, tick)
+
+    def round_off() -> tuple[int, float]:
+        sim = Simulator()
+        chain(sim)
+        t0 = time.perf_counter()
+        executed = sim.run()
+        return executed, time.perf_counter() - t0
+
+    def round_on() -> tuple[int, float]:
+        sim = Simulator()
+        registry = MetricsRegistry()
+        instrument_engine(sim, registry)
+        chain(sim)
+        t0 = time.perf_counter()
+        executed = sim.run()
+        seconds = time.perf_counter() - t0
+        list(registry.collect())  # one end-of-run scrape, like --metrics-out
+        return executed, seconds
+
+    def round_live() -> tuple[int, float]:
+        sim = Simulator()
+        registry = MetricsRegistry()
+        instrument_engine(sim, registry)
+        ticks = registry.counter("bench_ticks_total")
+
+        def bump() -> None:
+            ticks.value += 1
+
+        chain(sim, bump)
+        t0 = time.perf_counter()
+        executed = sim.run()
+        seconds = time.perf_counter() - t0
+        list(registry.collect())
+        return executed, seconds
+
+    best = {"off": 0.0, "on": 0.0, "live": 0.0}
+    executed = 0
+    for _ in range(repeats):  # interleaved: drift cannot bias one variant
+        for key, round_ in (("off", round_off), ("on", round_on), ("live", round_live)):
+            items, seconds = round_()
+            executed = items
+            if seconds > 0:
+                best[key] = max(best[key], items / seconds)
+
+    def overhead(rate: float) -> float:
+        if best["off"] <= 0:
+            return 0.0
+        # Clamp at 0 so a faster instrumented round never goes negative.
+        return max((best["off"] - rate) / best["off"], 0.0)
+
+    return {
+        "events_per_sec_off": best["off"],
+        "events_per_sec_on": best["on"],
+        "events_per_sec_live": best["live"],
+        "overhead_frac": overhead(best["on"]),  # guarded
+        "live_counter_overhead_frac": overhead(best["live"]),
+        "events": executed,
+        "repeats": repeats,
+    }
+
+
 def bench_trace(n_records: int = 100_000, repeats: int = 3) -> dict[str, Any]:
     """Columnar trace append + series read-back."""
     from repro.sim import TraceRecorder
@@ -248,11 +346,22 @@ def run_suite(*, quick: bool = False, repeats: int = 5) -> dict[str, Any]:
         "datapath_rate": lambda: bench_datapath(200 // scale, min(repeats, 3)),
         "fluid_rate": lambda: bench_fluid(50_000 // scale, min(repeats, 3)),
         "trace_log_rate": lambda: bench_trace(100_000 // scale, min(repeats, 3)),
+        "obs_overhead": lambda: bench_obs_overhead(20_000 // scale, repeats),
         "parallel_speedup": lambda: bench_parallel_speedup(
             8 // (2 if quick else 1), 600 // scale
         ),
     }
-    report: dict[str, Any] = {"schema": 1, "quick": quick, "benches": {}}
+    from repro.obs.manifest import environment
+
+    report: dict[str, Any] = {
+        "schema": 2,
+        "quick": quick,
+        # Environment stamp: lets rate trajectories across BENCH_*.json
+        # files be attributed to the machine/interpreter that produced
+        # them (git sha, python version, platform, cpu count).
+        "env": environment(),
+        "benches": {},
+    }
     for name, bench in benches.items():
         print(f"[bench] {name} ...", flush=True)
         report["benches"][name] = bench()
@@ -275,6 +384,20 @@ def check_regression(
                 f"{bench}.{field}: {measured:,.0f}/s is below the regression "
                 f"floor {floor:,.0f}/s (baseline {base:,.0f}/s - {tolerance:.0%})"
             )
+    # The obs layer is additionally held to an absolute budget: metrics-on
+    # must stay within the baseline's max_overhead_frac of metrics-off.
+    budget = baseline.get("benches", {}).get("obs_overhead", {}).get(
+        "max_overhead_frac"
+    )
+    if budget is not None:
+        measured = (
+            report["benches"].get("obs_overhead", {}).get("overhead_frac", 0.0)
+        )
+        if measured > budget:
+            failures.append(
+                f"obs_overhead.overhead_frac: {measured:.1%} exceeds the "
+                f"metrics-on budget of {budget:.0%}"
+            )
     return failures
 
 
@@ -283,8 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-bench", description="Run the perf-regression suite."
     )
     parser.add_argument(
-        "--output", type=Path, default=Path("BENCH_PR2.json"),
-        help="where to write the JSON report (default: BENCH_PR2.json)",
+        "--output", type=Path, default=Path("BENCH_PR3.json"),
+        help="where to write the JSON report (default: BENCH_PR3.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -316,6 +439,11 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] report written to {args.output}")
     for name, result in report["benches"].items():
+        if name == "obs_overhead":
+            print(f"  {name:20s} {result['overhead_frac']:>13.1%} overhead "
+                  f"(on {result['events_per_sec_on']:,.0f}/s, "
+                  f"off {result['events_per_sec_off']:,.0f}/s)")
+            continue
         rate_key = next(k for k in result if k.endswith("_per_sec"))
         print(f"  {name:20s} {result[rate_key]:>14,.0f} {rate_key.removesuffix('_per_sec')}/s")
 

@@ -85,7 +85,9 @@ class EventHandle:
         """Prevent the event from firing.  Safe to call more than once."""
         if self.seq != -1:
             self.seq = -1
-            self._sim._note_dead()
+            sim = self._sim
+            sim.events_cancelled += 1
+            sim._note_dead()
         self.cancelled = True
 
     def rearm(self, time_ps: int) -> None:
@@ -122,10 +124,15 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed: int = 0
+        #: Handles explicitly cancelled via :meth:`EventHandle.cancel`.
+        self.events_cancelled: int = 0
         #: Lazily-cancelled (or superseded) entries still on the heap.
         self._dead: int = 0
         #: Times the heap was compacted to reclaim dead entries.
         self.compactions: int = 0
+        #: Opt-in wall-clock profiler (see :meth:`enable_profiling`).
+        #: ``None`` keeps the default run loop completely untouched.
+        self._profiler = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -290,6 +297,8 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run())")
         if max_events is not None and max_events <= 0:
             return 0
+        if self._profiler is not None:
+            return self._run_profiled(until_ps, max_events)
         self._running = True
         self._stopped = False
         executed = 0
@@ -372,9 +381,101 @@ class Simulator:
             self.now = until_ps
         return executed
 
+    def _run_profiled(
+        self, until_ps: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """The :meth:`run` loop with per-callback wall-clock attribution.
+
+        A separate loop so enabling the profiler costs the unprofiled
+        path nothing.  Ordering, clock advancement, and lazy re-arm
+        handling mirror :meth:`run` exactly, so a profiled run executes
+        the same events in the same order.
+        """
+        profiler = self._profiler
+        clock = profiler.clock
+        record = profiler.record
+        self._running = True
+        self._stopped = False
+        executed = 0
+        heap = self._heap
+        pop = _heappop
+        push = _heappush
+        marker = _HANDLE
+        until = (1 << 62) if until_ps is None else until_ps
+        limit = -1 if max_events is None else max_events
+        try:
+            while heap and not self._stopped and executed != limit:
+                entry = pop(heap)
+                time_ps = entry[0]
+                if time_ps > until:
+                    push(heap, entry)
+                    break
+                args = entry[3]
+                if args is not marker:
+                    fn = entry[2]
+                else:
+                    handle = entry[2]
+                    if handle.seq != entry[1]:
+                        self._dead -= 1
+                        continue
+                    if handle.target_ps > time_ps:
+                        seq = self._seq
+                        self._seq = seq + 1
+                        handle.seq = seq
+                        handle.time_ps = handle.target_ps
+                        push(heap, (handle.target_ps, seq, handle, marker))
+                        continue
+                    handle.seq = -1
+                    fn = handle.fn
+                    args = handle.args
+                self.now = time_ps
+                t0 = clock()
+                fn(*args)
+                record(fn, clock() - t0)
+                executed += 1
+        finally:
+            self._running = False
+            self._events_executed += executed
+        if until_ps is not None and not self._stopped and self.now < until_ps:
+            self.now = until_ps
+        return executed
+
     def stop(self) -> None:
         """Stop a ``run()`` in progress after the current event returns."""
         self._stopped = True
+
+    # -- profiling ----------------------------------------------------------
+
+    def enable_profiling(self, profiler: Optional[Any] = None) -> Any:
+        """Attach a wall-clock profiler to the run loop (opt-in).
+
+        Subsequent :meth:`run` calls attribute each callback's wall time
+        to its owner; read the result with :meth:`profile`.  Passing a
+        :class:`~repro.obs.profile.SimProfiler` reuses it (tests inject
+        fake clocks); otherwise a fresh one is created.
+        """
+        if profiler is None:
+            from repro.obs.profile import SimProfiler
+
+            profiler = SimProfiler()
+        self._profiler = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler; the default run loop takes over again."""
+        self._profiler = None
+
+    def profile(self) -> Any:
+        """A :class:`~repro.obs.profile.ProfileReport` of the wall time
+        attributed so far.  Raises unless :meth:`enable_profiling` was
+        called."""
+        if self._profiler is None:
+            raise SimulationError(
+                "profiling is not enabled; call enable_profiling() first"
+            )
+        from repro.obs.profile import ProfileReport
+
+        return ProfileReport(rows=tuple(self._profiler.rows()))
 
     # -- introspection ------------------------------------------------------
 

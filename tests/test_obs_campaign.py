@@ -1,0 +1,209 @@
+"""Campaign telemetry: heartbeats, manifests, and the CLI surface.
+
+Covers the ISSUE acceptance path: ``repro sweep --workers 2
+--metrics-out m.prom`` must stream live heartbeats and write a
+grammar-valid Prometheus file, and ``repro report`` must print the
+per-component profile plus queue/drop/ECN counters.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import parse_prometheus_text
+from repro.obs.heartbeat import (
+    Heartbeat,
+    configure,
+    run_with_heartbeats,
+    set_task,
+)
+from repro.obs.manifest import build_manifest, config_hash, environment
+from repro.sim import Simulator
+from repro.units import MS
+
+
+@pytest.fixture(autouse=True)
+def _clean_sink():
+    """Heartbeat sink is module state; never leak it across tests."""
+    yield
+    configure(None)
+    set_task(None)
+
+
+class TestRunWithHeartbeats:
+    def _chain(self, sim, horizon):
+        def tick():
+            if sim.now < horizon:
+                sim.after(1000, tick)
+
+        sim.at(0, tick)
+
+    def test_no_sink_matches_plain_run(self):
+        a, b = Simulator(), Simulator()
+        self._chain(a, 50_000)
+        self._chain(b, 50_000)
+        executed = run_with_heartbeats(a, 100_000)
+        b.run(until_ps=100_000)
+        assert (executed, a.now) == (b.events_executed, b.now)
+
+    def test_slicing_does_not_change_the_run(self):
+        a, b = Simulator(), Simulator()
+        self._chain(a, 50_000)
+        self._chain(b, 50_000)
+        beats = []
+        configure(beats.append)
+        run_with_heartbeats(a, 100_000, n_slices=7)
+        configure(None)
+        b.run(until_ps=100_000)
+        assert a.events_executed == b.events_executed
+        assert a.now == b.now == 100_000
+        assert len(beats) == 8  # 7 slices + final
+        assert beats[-1].final and not beats[0].final
+        assert beats[-1].sim_now_ps == 100_000
+
+    def test_progress_is_monotonic_and_complete(self):
+        sim = Simulator()
+        self._chain(sim, 50_000)
+        beats = []
+        configure(beats.append)
+        set_task(5)
+        run_with_heartbeats(sim, 100_000)
+        fractions = [beat.progress for beat in beats]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        assert all(beat.task_id == 5 for beat in beats)
+
+    def test_counters_fn_snapshot(self):
+        sim = Simulator()
+        self._chain(sim, 5_000)
+        beats = []
+        configure(beats.append)
+        run_with_heartbeats(sim, 10_000, counters_fn=lambda: {"x": sim.now})
+        assert beats[-1].counters == {"x": 10_000}
+
+    def test_broken_queue_never_raises(self):
+        class FullQueue:
+            def put_nowait(self, item):
+                raise RuntimeError("full")
+
+        sim = Simulator()
+        self._chain(sim, 5_000)
+        configure(FullQueue())
+        run_with_heartbeats(sim, 10_000)  # must not raise
+        assert sim.now == 10_000
+
+
+class TestCampaignHeartbeats:
+    def _sweep(self, workers, on_heartbeat=None):
+        from repro.core.sweep import sweep_campaign
+
+        return sweep_campaign(
+            "dctcp",
+            [{"g": 0.0625}, {"g": 0.125}],
+            duration_ps=MS // 2,
+            workers=workers,
+            on_heartbeat=on_heartbeat,
+        )
+
+    def test_inline_heartbeats_and_identical_results(self):
+        beats = []
+        points, _ = self._sweep(workers=1, on_heartbeat=beats.append)
+        silent_points, _ = self._sweep(workers=1)
+        assert points == silent_points
+        finals = [beat for beat in beats if beat.final]
+        assert sorted(beat.task_id for beat in finals) == [0, 1]
+        assert all(beat.counters for beat in finals)
+
+    def test_pooled_heartbeats_and_identical_results(self):
+        beats = []
+        points, campaign = self._sweep(workers=2, on_heartbeat=beats.append)
+        inline_points, _ = self._sweep(workers=1)
+        assert points == inline_points
+        assert campaign.n_workers == 2
+        finals = {beat.task_id for beat in beats if beat.final}
+        assert finals == {0, 1}
+        # Beats crossed a process boundary: worker pids, not ours.
+        import os
+
+        assert all(beat.pid != os.getpid() for beat in beats)
+
+
+class TestManifest:
+    def test_config_hash_is_canonical(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_environment_fields(self):
+        env = environment()
+        assert set(env) == {
+            "git_sha", "python_version", "implementation", "platform", "cpu_count",
+        }
+        assert env["cpu_count"] >= 1
+
+    def test_build_manifest(self):
+        manifest = build_manifest(
+            {"algorithm": "dctcp"}, seed=7, metrics={"m": 1}, extra={"note": "x"}
+        )
+        assert manifest["schema"] == 1
+        assert manifest["seed"] == 7
+        assert manifest["config_hash"] == config_hash({"algorithm": "dctcp"})
+        assert manifest["metrics"] == {"m": 1}
+        assert manifest["note"] == "x"
+        assert "python_version" in manifest["environment"]
+
+
+class TestCli:
+    def test_sweep_streams_heartbeats_and_writes_prom(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        manifest = tmp_path / "manifest.json"
+        rc = main([
+            "sweep", "--workers", "2", "--param", "g=0.0625,0.125",
+            "--duration-ms", "0.5",
+            "--metrics-out", str(prom), "--manifest", str(manifest),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[hb] task 0" in out and "[hb] task 1" in out
+        assert "done" in out
+        samples = parse_prometheus_text(prom.read_text())
+        names = {name for name, _, _ in samples}
+        assert "repro_campaign_tasks_total" in names
+        assert "repro_sweep_switch_data_generated_total" in names
+        payload = json.loads(manifest.read_text())
+        assert payload["config"]["algorithm"] == "dctcp"
+        assert payload["campaign"]["tasks"] == 2
+
+    def test_sweep_no_progress_suppresses_hb_lines(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--param", "g=0.0625", "--duration-ms", "0.5",
+            "--no-progress", "--metrics-out", str(tmp_path / "m.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[hb]" not in out
+        assert json.loads((tmp_path / "m.json").read_text())
+
+    def test_report_prints_profile_and_counters(self, tmp_path, capsys):
+        prom = tmp_path / "report.prom"
+        rc = main([
+            "report", "--duration-ms", "0.5", "--metrics-out", str(prom),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "component" in out and "share" in out  # profile table
+        assert "ECN marks" in out
+        assert "dropped" in out
+        assert "SCHE accepted/dropped" in out
+        assert parse_prometheus_text(prom.read_text())
+
+    def test_run_metrics_out(self, tmp_path, capsys):
+        prom = tmp_path / "run.prom"
+        rc = main([
+            "run", "--duration-ms", "0.5", "--size-packets", "200",
+            "--metrics-out", str(prom),
+        ])
+        assert rc == 0
+        names = {name for name, _, _ in parse_prometheus_text(prom.read_text())}
+        assert "repro_sim_events_executed_total" in names
+        assert "repro_fifo_pushed_total" in names
