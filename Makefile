@@ -6,19 +6,21 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Perf-regression suite: writes BENCH_PR3.json and fails if any guarded
-## rate drops >20% below benchmarks/perf_baseline.json (or the obs layer
-## exceeds its metrics-on overhead budget).
+## Perf-regression suite: writes BENCH_PR7.json and fails if any guarded
+## rate drops more than its tolerance below benchmarks/perf_baseline.json
+## (10% for engine/datapath, 20% default; the obs layer also has an
+## absolute metrics-on overhead budget).  A loud warning — not a failure —
+## is printed when the baseline was recorded on a different machine.
 bench:
 	$(PYTHON) benchmarks/run_perf_suite.py \
-		--output BENCH_PR3.json \
+		--output BENCH_PR7.json \
 		--baseline benchmarks/perf_baseline.json \
 		--check
 
 ## Quarter-size workloads for a fast smoke signal (same regression check).
 bench-quick:
 	$(PYTHON) benchmarks/run_perf_suite.py \
-		--output BENCH_PR3.json \
+		--output BENCH_PR7.json \
 		--baseline benchmarks/perf_baseline.json \
 		--check --quick
 

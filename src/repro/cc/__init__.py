@@ -25,7 +25,15 @@ from repro.cc.cubic import Cubic, CubicState, lut_cbrt
 from repro.cc.timely import Timely, TimelyState
 from repro.cc.hpcc import Hpcc, HpccState
 from repro.cc.swift import Swift, SwiftState
-from repro.cc.registry import available, create, register
+from repro.cc.kernels import (
+    KERNEL_DCQCN,
+    KERNEL_DCTCP,
+    KERNEL_IDEAL,
+    KERNEL_SLOW_START,
+    fluid_kernel,
+    kernel_name,
+)
+from repro.cc.registry import available, create, lookup, register
 
 __all__ = [
     "CCAlgorithm",
@@ -58,5 +66,12 @@ __all__ = [
     "SwiftState",
     "available",
     "create",
+    "lookup",
     "register",
+    "KERNEL_IDEAL",
+    "KERNEL_SLOW_START",
+    "KERNEL_DCTCP",
+    "KERNEL_DCQCN",
+    "fluid_kernel",
+    "kernel_name",
 ]

@@ -1,0 +1,71 @@
+"""CC algorithm -> columnar fluid kernel mapping.
+
+The columnar fluid solver (:mod:`repro.fluid.solver`) advances every
+flow with one of four vectorized update kernels.  This module is the
+single source of truth for the kernel codes and for how a congestion
+control algorithm — a registered :class:`~repro.cc.base.CCAlgorithm`
+name or a fluid profile name — selects its kernel:
+
+* explicitly named algorithms get their dedicated kernel (DCTCP's
+  alpha-filtered window cut, DCQCN's line-rate decay/recovery);
+* every other registered *window*-mode algorithm falls back to the
+  generic slow-start/AIMD window kernel;
+* every other registered *rate*-mode algorithm (TIMELY, HPCC, Swift)
+  falls back to the DCQCN-style rate kernel — the closest fluid
+  abstraction of "rate controlled by congestion feedback";
+* ``ideal`` is the equal-share reference of Figure 10.
+
+Kernel codes are small ints so a million-flow population stores its
+per-flow kernel selection in one ``int8`` column.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CCMode
+from repro.cc.registry import lookup
+from repro.errors import ConfigError
+
+#: Equal-share reference: rate == capacity / active flows, always.
+KERNEL_IDEAL = 0
+#: Generic window kernel: slow-start doubling, then AIMD (halve on mark).
+KERNEL_SLOW_START = 1
+#: DCTCP window kernel: slow start + alpha-proportional window cut.
+KERNEL_DCTCP = 2
+#: DCQCN rate kernel: line-rate start, alpha cut on mark, exponential
+#: recovery toward line rate.
+KERNEL_DCQCN = 3
+
+#: All kernel codes, in code order (index == code).
+KERNEL_NAMES = ("ideal", "slow_start", "dctcp", "dcqcn")
+
+#: Names whose kernel is not derived from the registry's mode.
+_EXPLICIT: dict[str, int] = {
+    "ideal": KERNEL_IDEAL,
+    "constant": KERNEL_IDEAL,
+    "slow_start": KERNEL_SLOW_START,
+    "dctcp": KERNEL_DCTCP,
+    "dcqcn": KERNEL_DCQCN,
+}
+
+
+def fluid_kernel(name: str) -> int:
+    """Kernel code for an algorithm or profile name.
+
+    Accepts the explicit kernel names above, or any algorithm registered
+    in :mod:`repro.cc.registry` (falls back on the algorithm's mode:
+    window -> :data:`KERNEL_SLOW_START`, rate -> :data:`KERNEL_DCQCN`).
+    """
+    key = name.lower()
+    if key in _EXPLICIT:
+        return _EXPLICIT[key]
+    cls = lookup(key)  # raises ConfigError for unknown names
+    if cls.mode is CCMode.WINDOW:
+        return KERNEL_SLOW_START
+    return KERNEL_DCQCN
+
+
+def kernel_name(code: int) -> str:
+    """Human-readable name of a kernel code."""
+    if not 0 <= code < len(KERNEL_NAMES):
+        raise ConfigError(f"unknown fluid kernel code {code}")
+    return KERNEL_NAMES[code]

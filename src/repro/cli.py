@@ -7,6 +7,9 @@ Gives operators the control-plane workflow without writing Python:
 * ``repro sweep``          — CC parameter sweep over a grid, sharded
   across a process pool (``--workers N``) with live per-task heartbeat
   lines, ``--metrics-out`` (Prometheus/JSON), and ``--manifest``;
+* ``repro fluid``          — fluid FCT campaign over a CC x load grid
+  (Figure 10), on the exact closed-form backend or the columnar
+  million-flow solver (``--backend columnar``);
 * ``repro report``         — run a demo congestion scenario with the
   sim-time profiler and full metrics instrumentation enabled, then
   print the per-component wall-clock profile and key counters;
@@ -288,6 +291,73 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fluid(args: argparse.Namespace) -> int:
+    """Fluid FCT campaign (Figure 10 grid) on either fluid backend."""
+    from repro.fluid import (
+        dcqcn_profile,
+        dctcp_profile,
+        fluid_fct_campaign,
+        ideal_profile,
+    )
+    from repro.workload import hadoop, websearch
+
+    factories = {
+        "dctcp": dctcp_profile,
+        "dcqcn": dcqcn_profile,
+        "ideal": ideal_profile,
+    }
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(factories))
+    if unknown:
+        raise SystemExit(
+            f"unknown fluid profile(s) {unknown}; choose from {sorted(factories)}"
+        )
+    try:
+        levels = [int(token) for token in args.flows_per_port.split(",")]
+    except ValueError:
+        raise SystemExit("--flows-per-port must be a comma-separated int list")
+    distribution = websearch() if args.workload == "websearch" else hadoop()
+    points, campaign = fluid_fct_campaign(
+        [factories[name]() for name in names],
+        distribution,
+        workload=args.workload,
+        flows_per_port_levels=levels,
+        flows_total=args.flows_total,
+        n_ports=args.ports,
+        workers=args.workers,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    stats = campaign.stats()
+    print(
+        f"fluid campaign ({args.backend} backend): {len(points)} cell(s), "
+        f"{stats['workers']} worker(s), {stats['campaign_wall_s']:.1f} s wall, "
+        f"{stats['events_total']:,} flow(-step)s"
+    )
+    print(f"{'algorithm':10s} {'flows/port':>10s} {'mean':>10s} {'p50':>10s} "
+          f"{'p99':>10s} {'per-slot':>12s} {'aggregate':>12s}")
+    for point in points:
+        aggregate = point.throughput_bps * point.flows_per_port * args.ports
+        print(f"{point.algorithm:10s} {point.flows_per_port:>10d} "
+              f"{point.mean_fct_us:>8.1f}us {point.p50_fct_us:>8.1f}us "
+              f"{point.p99_fct_us:>8.1f}us "
+              f"{format_rate(point.throughput_bps):>12s} "
+              f"{format_rate(aggregate):>12s}")
+    if args.json is not None:
+        import dataclasses
+        import json
+
+        payload = {
+            "backend": args.backend,
+            "workload": args.workload,
+            "stats": stats,
+            "points": [dataclasses.asdict(point) for point in points],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Profile-and-counters report for one demo congestion scenario."""
     cp = ControlPlane()
@@ -464,6 +534,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress live [hb] heartbeat lines",
     )
 
+    p_fluid = sub.add_parser(
+        "fluid",
+        help="fluid FCT campaign (Figure 10 grid), closed-form or columnar",
+    )
+    p_fluid.add_argument(
+        "--algorithms", default="dctcp,dcqcn,ideal",
+        help="comma-separated fluid profiles (dctcp, dcqcn, ideal)",
+    )
+    p_fluid.add_argument(
+        "--backend", choices=("closed_form", "columnar"), default="closed_form",
+        help="closed_form: exact per-flow kernel; columnar: time-stepped "
+             "NumPy solver (dynamic feedback, scales to 10^6 flows)",
+    )
+    p_fluid.add_argument(
+        "--flows-per-port", default="8",
+        help="comma-separated per-port concurrency levels (grid axis)",
+    )
+    p_fluid.add_argument("--flows-total", type=int, default=50_000,
+                         help="FCT samples per cell")
+    p_fluid.add_argument("--ports", type=int, default=12)
+    p_fluid.add_argument(
+        "--workload", choices=("websearch", "hadoop"), default="websearch"
+    )
+    p_fluid.add_argument("--workers", type=int, default=1)
+    p_fluid.add_argument("--seed", type=int, default=0)
+    p_fluid.add_argument("--json", default=None, help="write results as JSON")
+
     p_report = sub.add_parser(
         "report", help="profile a demo scenario and print metrics"
     )
@@ -490,6 +587,7 @@ HANDLERS = {
     "resources": cmd_resources,
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "fluid": cmd_fluid,
     "report": cmd_report,
 }
 

@@ -9,9 +9,11 @@ scale in the integration tests.
 """
 
 from repro.fluid.campaign import (
+    FLUID_BACKENDS,
     FluidCampaignPoint,
     fluid_fct_campaign,
     run_fluid_point,
+    run_fluid_result,
 )
 from repro.fluid.ideal import ideal_fct_ps, ideal_fct_series_us
 from repro.fluid.model import (
@@ -22,11 +24,23 @@ from repro.fluid.model import (
     dctcp_profile,
     ideal_profile,
 )
+from repro.fluid.solver import (
+    ColumnarFluidSolver,
+    SolverConfig,
+    SolverRunResult,
+    kernel_for_profile,
+)
 
 __all__ = [
+    "FLUID_BACKENDS",
     "FluidCampaignPoint",
     "fluid_fct_campaign",
     "run_fluid_point",
+    "run_fluid_result",
+    "ColumnarFluidSolver",
+    "SolverConfig",
+    "SolverRunResult",
+    "kernel_for_profile",
     "ideal_fct_ps",
     "ideal_fct_series_us",
     "FluidCcProfile",

@@ -20,10 +20,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.fluid.model import FluidCcProfile, FluidSimulator
+from repro.fluid.model import FluidCcProfile, FluidResult, FluidSimulator
+from repro.fluid.solver import ColumnarFluidSolver, SolverConfig, kernel_for_profile
 from repro.parallel import CampaignResult, CampaignRunner, derive_task_seed, report_events
 from repro.units import RATE_100G
 from repro.workload.distributions import EmpiricalCdf
+
+#: Fluid execution backends: the closed-form per-flow FCT kernel (exact,
+#: static populations) and the time-stepped columnar solver (dynamic
+#: feedback, 10^5-10^6 concurrent flows per process).
+FLUID_BACKENDS = ("closed_form", "columnar")
 
 
 @dataclass(frozen=True)
@@ -40,6 +46,89 @@ class FluidCampaignPoint:
     throughput_bps: float
 
 
+def _run_columnar(
+    profile: FluidCcProfile,
+    distribution: EmpiricalCdf,
+    *,
+    flows_per_port: int,
+    flows_total: int,
+    n_ports: int,
+    port_capacity_bps: float,
+    seed: int,
+    dt_ps: Optional[int],
+) -> FluidResult:
+    """One closed-loop columnar run shaped like a closed-form one."""
+    config = SolverConfig() if dt_ps is None else SolverConfig(dt_ps=dt_ps)
+    solver = ColumnarFluidSolver(
+        n_bottlenecks=n_ports,
+        capacity_bps=port_capacity_bps,
+        config=config,
+        seed=seed,
+        capacity_hint=n_ports * flows_per_port,
+    )
+    bottleneck = np.repeat(
+        np.arange(n_ports, dtype=np.int32), flows_per_port
+    )
+    sizes = distribution.sample_many(solver.rng, bottleneck.size)
+    solver.add_flows(
+        sizes, bottleneck=bottleneck, kernel=kernel_for_profile(profile)
+    )
+    run = solver.run_closed_loop(distribution, flows_total=flows_total)
+    report_events(run.flow_steps)
+    return FluidResult(
+        algorithm=profile.name,
+        fcts_us=run.fcts_us,
+        sizes_bytes=run.sizes_bytes,
+        n_flows_per_port=flows_per_port,
+        n_ports=n_ports,
+        capacity_bps=port_capacity_bps,
+    )
+
+
+def run_fluid_result(
+    profile: FluidCcProfile,
+    distribution: EmpiricalCdf,
+    *,
+    flows_per_port: int,
+    flows_total: int,
+    n_ports: int = 12,
+    port_capacity_bps: float = RATE_100G,
+    seed: int = 0,
+    backend: str = "closed_form",
+    dt_ps: Optional[int] = None,
+) -> FluidResult:
+    """One full fluid run on the selected backend, raw FCT arrays and all.
+
+    ``backend="closed_form"`` integrates each flow's rate profile
+    exactly; ``backend="columnar"`` runs the time-stepped columnar
+    solver (dynamic queue/marking feedback, million-flow scale).
+    """
+    if backend not in FLUID_BACKENDS:
+        raise ConfigError(
+            f"unknown fluid backend {backend!r}; choose from {FLUID_BACKENDS}"
+        )
+    if backend == "columnar":
+        return _run_columnar(
+            profile,
+            distribution,
+            flows_per_port=flows_per_port,
+            flows_total=flows_total,
+            n_ports=n_ports,
+            port_capacity_bps=port_capacity_bps,
+            seed=seed,
+            dt_ps=dt_ps,
+        )
+    fluid = FluidSimulator(
+        n_ports=n_ports,
+        flows_per_port=flows_per_port,
+        port_capacity_bps=port_capacity_bps,
+        seed=seed,
+    )
+    result = fluid.run(profile, distribution, flows_total=flows_total)
+    report_events(result.total_flows)
+    return result
+
+
 def run_fluid_point(
     profile: FluidCcProfile,
     distribution: EmpiricalCdf,
@@ -50,19 +139,25 @@ def run_fluid_point(
     n_ports: int = 12,
     port_capacity_bps: float = RATE_100G,
     seed: int = 0,
+    backend: str = "closed_form",
+    dt_ps: Optional[int] = None,
 ) -> FluidCampaignPoint:
     """One campaign cell: a full fluid run reduced to its FCT summary.
 
-    Top-level and closure-free so it pickles into pool workers.
+    Top level and closure-free so it pickles into pool workers; see
+    :func:`run_fluid_result` for the backend semantics.
     """
-    fluid = FluidSimulator(
-        n_ports=n_ports,
+    result = run_fluid_result(
+        profile,
+        distribution,
         flows_per_port=flows_per_port,
+        flows_total=flows_total,
+        n_ports=n_ports,
         port_capacity_bps=port_capacity_bps,
         seed=seed,
+        backend=backend,
+        dt_ps=dt_ps,
     )
-    result = fluid.run(profile, distribution, flows_total=flows_total)
-    report_events(result.total_flows)
     fcts = result.fcts_us
     return FluidCampaignPoint(
         algorithm=profile.name,
@@ -87,17 +182,25 @@ def fluid_fct_campaign(
     port_capacity_bps: float = RATE_100G,
     workers: int = 1,
     seed: int = 0,
+    backend: str = "closed_form",
+    dt_ps: Optional[int] = None,
     runner: Optional[CampaignRunner] = None,
 ) -> tuple[list[FluidCampaignPoint], CampaignResult]:
     """Run the profile × load grid, sharded across ``workers`` processes.
 
     Cells come back in grid order (profiles major, load levels minor)
     with the campaign's wall-clock/event statistics alongside.
+    ``backend`` selects the per-cell fluid engine (see
+    :func:`run_fluid_point`).
     """
     if not profiles:
         raise ConfigError("fluid campaign needs at least one CC profile")
     if not flows_per_port_levels:
         raise ConfigError("fluid campaign needs at least one load level")
+    if backend not in FLUID_BACKENDS:
+        raise ConfigError(
+            f"unknown fluid backend {backend!r}; choose from {FLUID_BACKENDS}"
+        )
     tasks = []
     for profile_index, profile in enumerate(profiles):
         for level_index, flows_per_port in enumerate(flows_per_port_levels):
@@ -110,6 +213,8 @@ def fluid_fct_campaign(
                     "flows_total": flows_total,
                     "n_ports": n_ports,
                     "port_capacity_bps": port_capacity_bps,
+                    "backend": backend,
+                    "dt_ps": dt_ps,
                     "seed": derive_task_seed(seed, profile_index, level_index),
                 }
             )

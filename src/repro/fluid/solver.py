@@ -1,0 +1,575 @@
+"""Time-stepped columnar fluid solver: 10^5-10^6 concurrent flows per process.
+
+The closed-form :class:`~repro.fluid.model.FluidSimulator` integrates
+each flow's rate profile in isolation — exact, but static: the flow
+population, the fair share, and the marking behaviour are inputs, not
+outcomes.  This module is the dynamic counterpart: a discretized fluid
+model in the style of the DCTCP/DCQCN fluid analyses, where congestion
+feedback *emerges* from per-bottleneck queues and every per-flow
+quantity lives in a NumPy column so one process sweeps a million
+concurrent flows.
+
+State layout (structure of arrays, one row per flow):
+
+====================  =======  ==================================================
+column                dtype    meaning
+====================  =======  ==================================================
+``rate_bps``          f8       current sending rate (0 for inactive rows)
+``window_bits``       f8       congestion window (window kernels)
+``alpha``             f8       EWMA congestion estimate (DCTCP / DCQCN)
+``remaining_bits``    f8       bits left to deliver
+``size_bits``         f8       original flow size
+``start_ps``          f8       arrival time (fractional: completion-interpolated)
+``bottleneck``        i4       index into the per-bottleneck arrays
+``kernel``            i1       update-kernel code (:mod:`repro.cc.kernels`)
+``active``            bool     row liveness mask
+``flow_id``           i8       stable id (survives compaction)
+====================  =======  ==================================================
+
+Each :meth:`ColumnarFluidSolver.step` does three group-by passes and a
+handful of elementwise kernels, all O(flows) NumPy:
+
+1. **aggregate** — per-bottleneck offered load and active-flow counts
+   via ``np.bincount`` over the flow->bottleneck index column;
+2. **mark** — per-bottleneck queue integration (``q += (offered-C)*dt``)
+   and DCTCP-style step marking (``mark = q > K``), broadcast back to
+   flows by fancy indexing;
+3. **update** — vectorized per-CC kernels (ideal constant share,
+   slow-start doubling / AIMD, DCTCP alpha filter + proportional window
+   cut, DCQCN line-rate decay/recovery) applied to cached per-kernel row
+   index arrays.
+
+Flows arrive (:meth:`~ColumnarFluidSolver.add_flows`) and depart
+(completion) dynamically; completed rows are recycled in closed-loop
+mode or left dead and periodically compacted away in open-loop mode, so
+long campaigns stay O(live flows) in memory.  Everything is driven by
+one ``numpy.random.Generator`` — the same seed replays bit-identical
+state trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cc.kernels import (
+    KERNEL_DCQCN,
+    KERNEL_DCTCP,
+    KERNEL_IDEAL,
+    KERNEL_SLOW_START,
+    fluid_kernel,
+)
+from repro.errors import ConfigError
+from repro.units import BITS_PER_BYTE, MICROSECOND, RATE_100G, SECOND, US
+from repro.workload.distributions import SizeDistribution
+
+__all__ = [
+    "SolverConfig",
+    "ColumnarFluidSolver",
+    "SolverRunResult",
+    "kernel_for_profile",
+]
+
+
+def kernel_for_profile(profile) -> int:
+    """Kernel code for a :class:`~repro.fluid.model.FluidCcProfile`.
+
+    Maps on the profile's *startup* shape (the property the closed-form
+    model distinguishes algorithms by), falling back to the algorithm
+    name for registered CC algorithms.
+    """
+    startup = getattr(profile, "startup", None)
+    if startup == "constant":
+        return KERNEL_IDEAL
+    if startup == "line_rate_decay":
+        return KERNEL_DCQCN
+    if startup == "slow_start":
+        return fluid_kernel(profile.name) if profile.name == "dctcp" else KERNEL_DCTCP
+    return fluid_kernel(profile.name)
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Discretization and CC constants of the columnar solver."""
+
+    #: Step size.  Must resolve the fastest dynamics of interest (the
+    #: effective RTT); FCTs are completion-interpolated, so the *ideal*
+    #: kernel is exact at any dt.
+    dt_ps: int = 5 * US
+    #: Propagation RTT added to the queueing delay at the bottleneck.
+    base_rtt_ps: int = 6 * US
+    mss_bytes: int = 1000
+    #: DCTCP marking threshold K per bottleneck (bytes of standing queue).
+    ecn_threshold_bytes: int = 84_000
+    #: DCTCP alpha gain g (per RTT).
+    dctcp_gain: float = 0.0625
+    #: DCQCN alpha-timer gain and period (the 55 us alpha update).
+    dcqcn_alpha_gain: float = 0.0625
+    dcqcn_alpha_period_ps: int = 55 * US
+    #: DCQCN rate-cut reaction period (CNP interval).
+    dcqcn_cut_period_ps: int = 50 * US
+    #: Time constant of DCQCN's recovery toward line rate.
+    dcqcn_recovery_tau_ps: int = 120 * US
+    #: Rate floor so rate-mode flows can always finish.
+    min_rate_bps: float = 10e6
+    #: Window cap in bottleneck BDPs (keeps slow start from overflowing
+    #: float range while the queue-inflated RTT catches up).
+    max_window_bdp: float = 8.0
+    #: Compaction policy: compact when rows exceed ``compact_slack``
+    #: times the active population (and at least ``compact_min_rows``).
+    compact_min_rows: int = 4096
+    compact_slack: float = 2.0
+
+    def validate(self) -> None:
+        if self.dt_ps <= 0:
+            raise ConfigError(f"dt_ps must be positive, got {self.dt_ps}")
+        if self.base_rtt_ps <= 0:
+            raise ConfigError(f"base_rtt_ps must be positive, got {self.base_rtt_ps}")
+        if self.mss_bytes <= 0:
+            raise ConfigError(f"mss_bytes must be positive, got {self.mss_bytes}")
+        if self.ecn_threshold_bytes <= 0:
+            raise ConfigError("ecn_threshold_bytes must be positive")
+        if not 0.0 < self.dctcp_gain <= 1.0:
+            raise ConfigError(f"dctcp_gain must be in (0, 1], got {self.dctcp_gain}")
+        if self.min_rate_bps <= 0:
+            raise ConfigError("min_rate_bps must be positive")
+        if self.compact_slack <= 1.0:
+            raise ConfigError("compact_slack must exceed 1.0")
+
+
+@dataclass(frozen=True)
+class SolverRunResult:
+    """Completion log of a solver run (columnar, completion-ordered)."""
+
+    fcts_us: np.ndarray
+    sizes_bytes: np.ndarray
+    flow_ids: np.ndarray
+    sim_time_ps: float
+    steps: int
+    flow_steps: int
+
+
+class ColumnarFluidSolver:
+    """Dynamic many-flow fluid model over shared bottlenecks.
+
+    ``capacity_bps`` is a scalar (uniform ports) or one value per
+    bottleneck.  Flows are added with :meth:`add_flows` and advanced
+    with :meth:`step`; :meth:`run_closed_loop` keeps the population
+    constant (a completion immediately respawns a new flow in the same
+    slot with a freshly sampled size) until enough FCTs are collected —
+    the regime of the paper's Figure 10 comprehensive test.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_bottlenecks: int = 1,
+        capacity_bps: Union[float, Sequence[float]] = RATE_100G,
+        config: Optional[SolverConfig] = None,
+        seed: int = 0,
+        capacity_hint: int = 1024,
+    ) -> None:
+        if n_bottlenecks <= 0:
+            raise ConfigError(f"n_bottlenecks must be positive, got {n_bottlenecks}")
+        self.config = config if config is not None else SolverConfig()
+        self.config.validate()
+        capacity = np.asarray(capacity_bps, dtype=np.float64)
+        if capacity.ndim == 0:
+            capacity = np.full(n_bottlenecks, float(capacity), dtype=np.float64)
+        if capacity.shape != (n_bottlenecks,):
+            raise ConfigError(
+                f"capacity_bps must be scalar or length {n_bottlenecks}, "
+                f"got shape {capacity.shape}"
+            )
+        if np.any(capacity <= 0):
+            raise ConfigError("every bottleneck capacity must be positive")
+        self.n_bottlenecks = n_bottlenecks
+        self.capacity_bps = capacity
+        self.queue_bits = np.zeros(n_bottlenecks, dtype=np.float64)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.now_ps: float = 0.0
+        self.steps_run = 0
+        #: Sum over steps of the live-flow count — the bench unit.
+        self.flow_steps = 0
+        self.flows_added = 0
+        self.flows_completed = 0
+
+        rows = max(16, int(capacity_hint))
+        self._n = 0  # rows in use (live region: [0, _n))
+        self._alloc(rows)
+        self._n_active = 0
+        self._next_flow_id = 0
+        #: Kernel code -> row selector (index array, or a slice covering
+        #: every row for single-kernel populations).
+        self._kernel_rows: Optional[dict[int, object]] = None
+        #: Closed-loop respawn source (None = open loop: flows depart).
+        self._respawn: Optional[SizeDistribution] = None
+        # Completion log: per-step arrays, concatenated on demand.
+        self._done_fct_ps: list[np.ndarray] = []
+        self._done_bytes: list[np.ndarray] = []
+        self._done_ids: list[np.ndarray] = []
+
+    # -- storage ---------------------------------------------------------------
+
+    def _alloc(self, rows: int) -> None:
+        self._cap = rows
+        self.rate_bps = np.zeros(rows, dtype=np.float64)
+        self.window_bits = np.zeros(rows, dtype=np.float64)
+        self.alpha = np.zeros(rows, dtype=np.float64)
+        self.remaining_bits = np.zeros(rows, dtype=np.float64)
+        self.size_bits = np.zeros(rows, dtype=np.float64)
+        self.start_ps = np.zeros(rows, dtype=np.float64)
+        self.bottleneck = np.zeros(rows, dtype=np.int32)
+        self.kernel = np.zeros(rows, dtype=np.int8)
+        self.active = np.zeros(rows, dtype=bool)
+        self.flow_id = np.zeros(rows, dtype=np.int64)
+
+    _COLUMNS = (
+        "rate_bps", "window_bits", "alpha", "remaining_bits", "size_bits",
+        "start_ps", "bottleneck", "kernel", "active", "flow_id",
+    )
+
+    def _grow(self, need: int) -> None:
+        rows = self._cap
+        while rows < need:
+            rows *= 2
+        old = {name: getattr(self, name) for name in self._COLUMNS}
+        n = self._n
+        self._alloc(rows)
+        for name, column in old.items():
+            getattr(self, name)[:n] = column[:n]
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in use, live or dead (dead rows await compaction)."""
+        return self._n
+
+    @property
+    def n_active(self) -> int:
+        """Currently live flows."""
+        return self._n_active
+
+    # -- population ------------------------------------------------------------
+
+    def add_flows(
+        self,
+        sizes_bytes: Union[Sequence[int], np.ndarray],
+        *,
+        bottleneck: Union[int, Sequence[int], np.ndarray] = 0,
+        kernel: Union[int, str] = "dctcp",
+        start_ps: Optional[float] = None,
+    ) -> np.ndarray:
+        """Append a batch of flows; returns their stable flow ids.
+
+        ``bottleneck`` is a scalar or one index per flow; ``kernel`` is a
+        code from :mod:`repro.cc.kernels` or an algorithm name.
+        """
+        sizes = np.asarray(sizes_bytes, dtype=np.float64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise ConfigError("add_flows needs a non-empty 1-D size batch")
+        if np.any(sizes <= 0):
+            raise ConfigError("every flow size must be positive")
+        code = fluid_kernel(kernel) if isinstance(kernel, str) else int(kernel)
+        if not 0 <= code <= KERNEL_DCQCN:
+            raise ConfigError(f"unknown fluid kernel code {code}")
+        bot = np.asarray(bottleneck, dtype=np.int32)
+        if bot.ndim == 0:
+            bot = np.full(sizes.size, int(bot), dtype=np.int32)
+        if bot.shape != sizes.shape:
+            raise ConfigError("bottleneck must be scalar or one index per flow")
+        if np.any(bot < 0) or np.any(bot >= self.n_bottlenecks):
+            raise ConfigError(
+                f"bottleneck indices must be in [0, {self.n_bottlenecks})"
+            )
+        k = sizes.size
+        if self._n + k > self._cap:
+            self._grow(self._n + k)
+        rows = slice(self._n, self._n + k)
+        mss_bits = self.config.mss_bytes * BITS_PER_BYTE
+        self.size_bits[rows] = sizes * BITS_PER_BYTE
+        self.remaining_bits[rows] = self.size_bits[rows]
+        self.start_ps[rows] = self.now_ps if start_ps is None else float(start_ps)
+        self.bottleneck[rows] = bot
+        self.kernel[rows] = code
+        self.active[rows] = True
+        self.alpha[rows] = 0.0
+        self.window_bits[rows] = mss_bits
+        # Rate kernels start at line rate (DCQCN's defining behaviour);
+        # window/ideal kernels derive their rate inside the next step.
+        if code == KERNEL_DCQCN:
+            self.rate_bps[rows] = self.capacity_bps[bot]
+        else:
+            self.rate_bps[rows] = 0.0
+        ids = np.arange(self._next_flow_id, self._next_flow_id + k, dtype=np.int64)
+        self.flow_id[rows] = ids
+        self._next_flow_id += k
+        self._n += k
+        self._n_active += k
+        self.flows_added += k
+        self._kernel_rows = None
+        return ids
+
+    def _kernel_index(self) -> dict[int, np.ndarray]:
+        """Row indices per kernel code, cached until the layout changes.
+
+        Flows never change kernel, so these index arrays stay valid
+        across steps; completion only flips ``active``, which every
+        kernel update respects via the mask column.
+        """
+        if self._kernel_rows is None:
+            codes = self.kernel[: self._n]
+            rows = {
+                code: np.flatnonzero(codes == code)
+                for code in (
+                    KERNEL_IDEAL, KERNEL_SLOW_START, KERNEL_DCTCP, KERNEL_DCQCN
+                )
+                if np.any(codes == code)
+            }
+            if len(rows) == 1:
+                # Single-kernel population (the usual campaign case):
+                # a slice makes every gather below a view, not a copy.
+                rows = {code: slice(0, self._n) for code in rows}
+            self._kernel_rows = rows
+        return self._kernel_rows
+
+    def compact(self) -> int:
+        """Drop dead rows, preserving live-row order; returns rows freed.
+
+        Stable ids, completion logs, and all live per-flow state are
+        unaffected — only the physical row numbering changes.
+        """
+        n = self._n
+        live = np.flatnonzero(self.active[:n])
+        freed = n - live.size
+        if freed == 0:
+            return 0
+        for name in self._COLUMNS:
+            column = getattr(self, name)
+            column[: live.size] = column[live]
+        self._n = live.size
+        self._kernel_rows = None
+        return freed
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._respawn is None
+            and self._n >= self.config.compact_min_rows
+            and self._n > self.config.compact_slack * max(self._n_active, 1)
+        ):
+            self.compact()
+
+    # -- the step loop ---------------------------------------------------------
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance the model ``n_steps`` ticks of ``config.dt_ps``."""
+        for _ in range(n_steps):
+            self._step_once()
+
+    def _step_once(self) -> None:
+        cfg = self.config
+        n = self._n
+        if n == 0:
+            self.now_ps += cfg.dt_ps
+            self.steps_run += 1
+            return
+        dt_s = cfg.dt_ps / SECOND
+        capacity = self.capacity_bps
+        active = self.active[:n]
+        bot = self.bottleneck[:n]
+        rate = self.rate_bps[:n]
+        window = self.window_bits[:n]
+        alpha = self.alpha[:n]
+        remaining = self.remaining_bits[:n]
+
+        # (1) per-bottleneck aggregation: active-flow counts and, for the
+        # window/ideal kernels, the RTT including the standing queue.
+        counts = np.bincount(
+            bot, weights=active, minlength=self.n_bottlenecks
+        )
+        rtt_b = cfg.base_rtt_ps / SECOND + self.queue_bits / capacity
+        inv_rtt_b = 1.0 / rtt_b
+        safe_counts = np.maximum(counts, 1.0)
+        # Everything that depends only on the bottleneck — RTT fractions,
+        # the slow-start growth factor, the window cap — is computed per
+        # bottleneck (a handful of values) and gathered per flow, keeping
+        # transcendentals off the million-row columns.
+        r_b = dt_s * inv_rtt_b  # step as a fraction of each RTT
+        exp2_r_b = np.exp2(r_b)
+        window_cap_b = cfg.max_window_bdp * capacity * rtt_b
+
+        kernel_rows = self._kernel_index()
+        idx_ideal = kernel_rows.get(KERNEL_IDEAL)
+        if idx_ideal is not None:
+            b = bot[idx_ideal]
+            rate[idx_ideal] = capacity[b] / safe_counts[b] * active[idx_ideal]
+        for idx in (
+            kernel_rows.get(KERNEL_SLOW_START), kernel_rows.get(KERNEL_DCTCP)
+        ):
+            if idx is not None:
+                rate[idx] = (
+                    window[idx] * inv_rtt_b[bot[idx]] * active[idx]
+                )
+
+        # (2) offered load, service share, and queue/marking update.
+        offered = np.bincount(bot, weights=rate, minlength=self.n_bottlenecks)
+        share = np.minimum(1.0, capacity / np.maximum(offered, 1e-9))
+        delivered = rate * (share[bot] * dt_s)
+        np.subtract(remaining, delivered, out=remaining)
+        self.queue_bits += (offered - capacity) * dt_s
+        np.maximum(self.queue_bits, 0.0, out=self.queue_bits)
+        k_bits = cfg.ecn_threshold_bytes * BITS_PER_BYTE
+        mark_b = (self.queue_bits > k_bits).astype(np.float64)
+
+        # (3) per-CC update kernels (masked fancy indexing).
+        mss_bits = cfg.mss_bytes * BITS_PER_BYTE
+        for code in (KERNEL_SLOW_START, KERNEL_DCTCP):
+            idx = kernel_rows.get(code)
+            if idx is None:
+                continue
+            b = bot[idx]
+            mark_f = mark_b[b]
+            r = r_b[b]  # step fraction of this flow's RTT
+            w = window[idx]
+            if code == KERNEL_DCTCP:
+                a = alpha[idx]
+                a += cfg.dctcp_gain * (mark_f - a) * r
+                alpha[idx] = a
+                cut = 1.0 - 0.5 * a * mark_f * r
+            else:
+                # The generic window kernel reuses the alpha column as an
+                # ever-marked latch: one mark ends slow start for good.
+                alpha[idx] = np.maximum(alpha[idx], mark_f)
+                cut = 1.0 - 0.5 * mark_f * r
+            # Slow-start doubling while the path has never pushed back
+            # (alpha ~ 0 and unmarked); congestion-avoidance AI after.
+            in_ss = (mark_f == 0.0) & (alpha[idx] < 1e-3)
+            w = np.where(in_ss, w * exp2_r_b[b], w * cut + mss_bits * r)
+            np.clip(w, mss_bits, window_cap_b[b], out=w)
+            window[idx] = w
+        idx = kernel_rows.get(KERNEL_DCQCN)
+        if idx is not None:
+            b = bot[idx]
+            mark_f = mark_b[b]
+            a = alpha[idx]
+            a += cfg.dcqcn_alpha_gain * (mark_f - a) * (
+                cfg.dt_ps / cfg.dcqcn_alpha_period_ps
+            )
+            alpha[idx] = a
+            rr = rate[idx]
+            decay = 1.0 - 0.5 * a * mark_f * (cfg.dt_ps / cfg.dcqcn_cut_period_ps)
+            recover = (capacity[b] - rr) * (
+                (1.0 - mark_f) * cfg.dt_ps / cfg.dcqcn_recovery_tau_ps
+            )
+            rr = rr * decay + recover
+            np.clip(rr, cfg.min_rate_bps, capacity[b], out=rr)
+            rate[idx] = rr * active[idx]
+
+        # (4) completions: interpolate within the step for exact FCTs,
+        # then recycle (closed loop) or retire (open loop) the rows.
+        done = np.flatnonzero(active & (remaining <= 0.0))
+        if done.size:
+            overshoot = -remaining[done] / np.maximum(delivered[done], 1e-30)
+            finish_ps = self.now_ps + cfg.dt_ps * (1.0 - np.minimum(overshoot, 1.0))
+            self._done_fct_ps.append(finish_ps - self.start_ps[:n][done])
+            self._done_bytes.append(self.size_bits[:n][done] / BITS_PER_BYTE)
+            self._done_ids.append(self.flow_id[:n][done].copy())
+            self.flows_completed += done.size
+            if self._respawn is not None:
+                sizes = self._respawn_sizes(done.size)
+                self.size_bits[:n][done] = sizes * BITS_PER_BYTE
+                remaining[done] = sizes * BITS_PER_BYTE
+                self.start_ps[:n][done] = finish_ps
+                # A respawn is a new logical flow: fresh stable id.
+                self.flow_id[:n][done] = np.arange(
+                    self._next_flow_id,
+                    self._next_flow_id + done.size,
+                    dtype=np.int64,
+                )
+                self._next_flow_id += done.size
+                self.flows_added += done.size
+                alpha[done] = 0.0
+                window[done] = mss_bits
+                is_dcqcn = self.kernel[:n][done] == KERNEL_DCQCN
+                rate[done] = np.where(
+                    is_dcqcn, capacity[bot[done]], 0.0
+                )
+            else:
+                active[done] = False
+                rate[done] = 0.0
+                remaining[done] = 0.0
+                self._n_active -= done.size
+
+        self.now_ps += cfg.dt_ps
+        self.steps_run += 1
+        self.flow_steps += self._n_active
+        self._maybe_compact()
+
+    def _respawn_sizes(self, k: int) -> np.ndarray:
+        source = self._respawn
+        if hasattr(source, "sample_many"):
+            return source.sample_many(self.rng, k).astype(np.float64)
+        return np.array(
+            [source.sample_bytes(self.rng) for _ in range(k)], dtype=np.float64
+        )
+
+    # -- results ---------------------------------------------------------------
+
+    def completions(self) -> SolverRunResult:
+        """Everything completed so far, in completion order."""
+        if self._done_fct_ps:
+            fct_ps = np.concatenate(self._done_fct_ps)
+            sizes = np.concatenate(self._done_bytes)
+            ids = np.concatenate(self._done_ids)
+        else:
+            fct_ps = np.empty(0)
+            sizes = np.empty(0)
+            ids = np.empty(0, dtype=np.int64)
+        return SolverRunResult(
+            fcts_us=fct_ps / MICROSECOND,
+            sizes_bytes=sizes,
+            flow_ids=ids,
+            sim_time_ps=self.now_ps,
+            steps=self.steps_run,
+            flow_steps=self.flow_steps,
+        )
+
+    def run_closed_loop(
+        self,
+        distribution: SizeDistribution,
+        *,
+        flows_total: int,
+        max_steps: Optional[int] = None,
+    ) -> SolverRunResult:
+        """Step under closed-loop replacement until ``flows_total`` FCTs.
+
+        Every completion immediately respawns a new flow in the same
+        slot (constant per-bottleneck population — the closed-loop
+        invariant of the paper's comprehensive test), with its size
+        drawn from ``distribution`` under the solver's seeded RNG.
+        """
+        if flows_total <= 0:
+            raise ConfigError(f"flows_total must be positive, got {flows_total}")
+        if self._n_active == 0:
+            raise ConfigError("seed the population with add_flows first")
+        self._respawn = distribution
+        try:
+            steps = 0
+            while self.flows_completed < flows_total:
+                self._step_once()
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    break
+        finally:
+            self._respawn = None
+        result = self.completions()
+        return SolverRunResult(
+            fcts_us=result.fcts_us[:flows_total],
+            sizes_bytes=result.sizes_bytes[:flows_total],
+            flow_ids=result.flow_ids[:flows_total],
+            sim_time_ps=result.sim_time_ps,
+            steps=result.steps,
+            flow_steps=result.flow_steps,
+        )

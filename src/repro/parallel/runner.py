@@ -64,6 +64,7 @@ DEFAULT_PRELOAD = (
     "repro.core.tester",
     "repro.baselines.pswitch_tester",
     "repro.fluid.model",
+    "repro.fluid.solver",
     "repro.workload",
 )
 

@@ -1,0 +1,336 @@
+"""The columnar fluid solver: oracle equivalence, determinism, and
+population management (arrivals, departures, compaction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.kernels import (
+    KERNEL_DCQCN,
+    KERNEL_DCTCP,
+    KERNEL_IDEAL,
+    KERNEL_SLOW_START,
+    fluid_kernel,
+    kernel_name,
+)
+from repro.errors import ConfigError
+from repro.fluid import (
+    ColumnarFluidSolver,
+    SolverConfig,
+    dcqcn_profile,
+    dctcp_profile,
+    fluid_fct_campaign,
+    ideal_fct_ps,
+    ideal_profile,
+    kernel_for_profile,
+    run_fluid_point,
+)
+from repro.units import BITS_PER_BYTE, MICROSECOND, RATE_100G, US
+from repro.workload import websearch
+
+
+class TestKernelMapping:
+    def test_explicit_names(self):
+        assert fluid_kernel("ideal") == KERNEL_IDEAL
+        assert fluid_kernel("constant") == KERNEL_IDEAL
+        assert fluid_kernel("slow_start") == KERNEL_SLOW_START
+        assert fluid_kernel("dctcp") == KERNEL_DCTCP
+        assert fluid_kernel("dcqcn") == KERNEL_DCQCN
+
+    def test_registry_fallback_by_cc_mode(self):
+        # Window-mode algorithms fall back to the generic window kernel,
+        # rate-mode ones to the rate kernel.
+        assert fluid_kernel("reno") == KERNEL_SLOW_START
+        assert fluid_kernel("timely") == KERNEL_DCQCN
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            fluid_kernel("definitely-not-a-cc")
+
+    def test_kernel_names_round_trip(self):
+        for code in (KERNEL_IDEAL, KERNEL_SLOW_START, KERNEL_DCTCP, KERNEL_DCQCN):
+            assert fluid_kernel(kernel_name(code)) == code
+
+    def test_kernel_for_profile(self):
+        assert kernel_for_profile(ideal_profile()) == KERNEL_IDEAL
+        assert kernel_for_profile(dctcp_profile()) == KERNEL_DCTCP
+        assert kernel_for_profile(dcqcn_profile()) == KERNEL_DCQCN
+
+
+class TestIdealOracle:
+    """The ideal kernel must reproduce the closed-form FCT exactly —
+    completion interpolation makes it independent of dt."""
+
+    def test_static_population_matches_closed_form(self):
+        n, size = 10, 1_000_000
+        solver = ColumnarFluidSolver(n_bottlenecks=1, seed=1)
+        solver.add_flows([size] * n, kernel="ideal")
+        while solver.n_active:
+            solver.step(64)
+        result = solver.completions()
+        expect_us = ideal_fct_ps(size, n, RATE_100G) / MICROSECOND
+        assert result.fcts_us == pytest.approx([expect_us] * n, rel=1e-9)
+
+    def test_dt_independence(self):
+        fcts = []
+        for dt in (1 * US, 7 * US):
+            solver = ColumnarFluidSolver(
+                n_bottlenecks=1, config=SolverConfig(dt_ps=dt), seed=1
+            )
+            solver.add_flows([250_000] * 4, kernel="ideal")
+            while solver.n_active:
+                solver.step()
+            fcts.append(solver.completions().fcts_us)
+        assert fcts[0] == pytest.approx(fcts[1], rel=1e-9)
+
+    def test_closed_loop_matches_per_flow_oracle(self):
+        # Under closed-loop replacement the population is constant, so
+        # every ideal flow runs at C/n for its whole life: its FCT is the
+        # scalar oracle's.  The seed cohort starts on a step boundary and
+        # is exact; respawned flows start mid-step, so they carry at most
+        # one dt of discretization.
+        n_slots = 16
+        solver = ColumnarFluidSolver(n_bottlenecks=1, seed=7)
+        dt_us = solver.config.dt_ps / MICROSECOND
+        dist = websearch()
+        sizes = dist.sample_many(solver.rng, n_slots)
+        solver.add_flows(sizes, kernel="ideal")
+        run = solver.run_closed_loop(dist, flows_total=400)
+        expect_us = np.array(
+            [
+                ideal_fct_ps(size, n_slots, RATE_100G) / MICROSECOND
+                for size in run.sizes_bytes
+            ]
+        )
+        seeded = run.flow_ids < n_slots
+        np.testing.assert_allclose(
+            run.fcts_us[seeded], expect_us[seeded], rtol=1e-9
+        )
+        np.testing.assert_allclose(run.fcts_us, expect_us, atol=dt_us, rtol=1e-9)
+
+    def test_closed_form_scalar_oracle_agrees(self):
+        # Same steady state through the FluidSimulator profile kernel
+        # (ideal profile: utilization 1, constant rate).
+        from repro.fluid import FluidSimulator
+
+        sim = FluidSimulator(n_ports=1, flows_per_port=8)
+        solver = ColumnarFluidSolver(n_bottlenecks=1, seed=3)
+        solver.add_flows([500_000] * 8, kernel="ideal")
+        while solver.n_active:
+            solver.step(32)
+        got = solver.completions().fcts_us[0] * MICROSECOND
+        want = sim.flow_fct_ps(500_000, ideal_profile())
+        assert got == pytest.approx(want, rel=1e-9)
+
+
+class TestClosedLoopBehaviour:
+    """Loose steady-state checks for the feedback kernels: the columnar
+    dynamics must land in the same regime as the closed-form profiles."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        dist = websearch()
+        out = {}
+        for backend in ("closed_form", "columnar"):
+            for profile in (ideal_profile(), dcqcn_profile()):
+                out[(backend, profile.name)] = run_fluid_point(
+                    profile,
+                    dist,
+                    flows_per_port=8,
+                    flows_total=2000,
+                    n_ports=2,
+                    seed=11,
+                    backend=backend,
+                )
+        return out
+
+    def test_mean_fct_consistent_across_backends(self, points):
+        for algorithm in ("ideal", "dcqcn"):
+            closed = points[("closed_form", algorithm)].mean_fct_us
+            columnar = points[("columnar", algorithm)].mean_fct_us
+            assert columnar == pytest.approx(closed, rel=0.5)
+
+    def test_dcqcn_short_flow_advantage(self, points):
+        # Line-rate start: DCQCN's median (short flows dominate the
+        # websearch count) beats equal-share ideal in both backends.
+        for backend in ("closed_form", "columnar"):
+            dcqcn = points[(backend, "dcqcn")]
+            ideal = points[(backend, "ideal")]
+            assert dcqcn.p50_fct_us < ideal.p50_fct_us
+
+    def test_dctcp_queue_sits_near_threshold(self):
+        # DCTCP's marking loop keeps the standing queue around K.
+        cfg = SolverConfig()
+        solver = ColumnarFluidSolver(n_bottlenecks=1, config=cfg, seed=2)
+        solver.add_flows([1_000_000_000] * 8, kernel="dctcp")
+        solver.step(4000)
+        assert solver.n_active == 8  # long flows: nobody finished yet
+        queue_bytes = solver.queue_bits[0] / BITS_PER_BYTE
+        assert 0.2 * cfg.ecn_threshold_bytes < queue_bytes < 5 * cfg.ecn_threshold_bytes
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        solver = ColumnarFluidSolver(n_bottlenecks=2, seed=seed)
+        dist = websearch()
+        sizes = dist.sample_many(solver.rng, 32)
+        solver.add_flows(sizes, bottleneck=np.arange(32, dtype=np.int32) % 2)
+        run = solver.run_closed_loop(dist, flows_total=300)
+        return solver, run
+
+    def test_same_seed_bit_identical(self):
+        a_solver, a = self._run(42)
+        b_solver, b = self._run(42)
+        assert np.array_equal(a.fcts_us, b.fcts_us)
+        assert np.array_equal(a.sizes_bytes, b.sizes_bytes)
+        assert np.array_equal(a.flow_ids, b.flow_ids)
+        for name in ColumnarFluidSolver._COLUMNS:
+            col_a = getattr(a_solver, name)[: a_solver.n_rows]
+            col_b = getattr(b_solver, name)[: b_solver.n_rows]
+            assert np.array_equal(col_a, col_b), name
+
+    def test_different_seed_differs(self):
+        _, a = self._run(42)
+        _, b = self._run(43)
+        assert not np.array_equal(a.sizes_bytes, b.sizes_bytes)
+
+    def test_campaign_worker_count_invariant(self):
+        dist = websearch()
+        kwargs = dict(
+            workload="websearch",
+            flows_per_port_levels=(4, 8),
+            flows_total=300,
+            n_ports=2,
+            seed=5,
+            backend="columnar",
+        )
+        profiles = [ideal_profile(), dcqcn_profile()]
+        serial, _ = fluid_fct_campaign(profiles, dist, workers=1, **kwargs)
+        pooled, _ = fluid_fct_campaign(profiles, dist, workers=2, **kwargs)
+        assert serial == pooled
+
+
+class TestPopulation:
+    def test_add_flows_validation(self):
+        solver = ColumnarFluidSolver(n_bottlenecks=2)
+        with pytest.raises(ConfigError):
+            solver.add_flows([])
+        with pytest.raises(ConfigError):
+            solver.add_flows([0])
+        with pytest.raises(ConfigError):
+            solver.add_flows([100], bottleneck=2)
+        with pytest.raises(ConfigError):
+            solver.add_flows([100], bottleneck=[0, 1])
+        with pytest.raises(ConfigError):
+            solver.add_flows([100], kernel="no-such-kernel")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SolverConfig(dt_ps=0).validate()
+        with pytest.raises(ConfigError):
+            SolverConfig(compact_slack=1.0).validate()
+        with pytest.raises(ConfigError):
+            ColumnarFluidSolver(n_bottlenecks=0)
+        with pytest.raises(ConfigError):
+            ColumnarFluidSolver(n_bottlenecks=2, capacity_bps=[1e9])
+
+    def test_backend_validation(self):
+        with pytest.raises(ConfigError):
+            run_fluid_point(
+                ideal_profile(),
+                websearch(),
+                flows_per_port=4,
+                flows_total=10,
+                backend="warp",
+            )
+
+    def test_growth_preserves_state(self):
+        solver = ColumnarFluidSolver(n_bottlenecks=1, capacity_hint=4)
+        first = solver.add_flows([1000] * 4, kernel="dctcp")
+        snapshot = solver.remaining_bits[:4].copy()
+        second = solver.add_flows([2000] * 100, kernel="dctcp")
+        assert solver.n_rows == 104
+        assert np.array_equal(solver.remaining_bits[:4], snapshot)
+        assert np.array_equal(solver.flow_id[:4], first)
+        assert second[0] == first[-1] + 1
+
+    def test_compaction_preserves_live_rows(self):
+        solver = ColumnarFluidSolver(n_bottlenecks=1, seed=0)
+        # Short flows finish early and leave dead rows behind the big ones.
+        solver.add_flows([2_000] * 8, kernel="ideal")
+        big = solver.add_flows([5_000_000] * 4, kernel="ideal")
+        while solver.n_active > 4:
+            solver.step()
+        live = {
+            int(fid): float(rem)
+            for fid, rem, act in zip(
+                solver.flow_id[: solver.n_rows],
+                solver.remaining_bits[: solver.n_rows],
+                solver.active[: solver.n_rows],
+            )
+            if act
+        }
+        freed = solver.compact()
+        assert freed == 8
+        assert solver.n_rows == solver.n_active == 4
+        assert np.array_equal(solver.flow_id[:4], big)
+        for fid, rem in zip(solver.flow_id[:4], solver.remaining_bits[:4]):
+            assert live[int(fid)] == rem
+        assert solver.compact() == 0  # idempotent
+        # The survivors still finish, and the completion log is intact.
+        while solver.n_active:
+            solver.step(64)
+        result = solver.completions()
+        assert result.fcts_us.size == 12
+        assert solver.flows_added == solver.flows_completed == 12
+
+    def test_auto_compaction_open_loop(self):
+        cfg = SolverConfig(compact_min_rows=32, compact_slack=1.5)
+        solver = ColumnarFluidSolver(n_bottlenecks=1, config=cfg, seed=0)
+        solver.add_flows([1_000] * 63, kernel="ideal")
+        solver.add_flows([20_000_000], kernel="ideal")
+        while solver.n_active > 1:
+            solver.step()
+        # 63 dead rows against 1 live flow: the slack policy must have
+        # compacted them away.
+        assert solver.n_rows < 32
+
+    def test_flow_step_accounting(self):
+        solver = ColumnarFluidSolver(n_bottlenecks=1)
+        solver.add_flows([1_000_000] * 100, kernel="dcqcn")
+        solver.step(5)
+        assert solver.steps_run == 5
+        assert solver.flow_steps == 500
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=100, max_value=2_000_000), min_size=1, max_size=16
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_open_loop_conservation(sizes, seed):
+    """Open loop with the ideal kernel: every byte admitted completes,
+    ids and sizes survive, and FCTs are bounded below by the serialized
+    transmission time."""
+    solver = ColumnarFluidSolver(n_bottlenecks=1, seed=seed)
+    ids = solver.add_flows(sizes, kernel="ideal")
+    for _ in range(200_000):
+        if not solver.n_active:
+            break
+        solver.step(16)
+    assert solver.n_active == 0
+    result = solver.completions()
+    assert sorted(result.flow_ids.tolist()) == sorted(ids.tolist())
+    assert sorted(result.sizes_bytes.tolist()) == sorted(float(s) for s in sizes)
+    # No flow beats the bare wire time for its own bytes.
+    wire_us = result.sizes_bytes * BITS_PER_BYTE / RATE_100G * 1e6
+    assert np.all(result.fcts_us >= wire_us * (1 - 1e-12))
+    # Equal shares: a bigger flow never finishes before a smaller one.
+    # (Same-step completions are logged in row order, so sort by size,
+    # not by log position.)
+    finish = result.fcts_us  # all started at t=0
+    by_size = np.argsort(result.sizes_bytes, kind="stable")
+    assert np.all(np.diff(finish[by_size]) >= -1e-6)

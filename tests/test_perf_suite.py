@@ -1,0 +1,186 @@
+"""The perf-suite report plumbing: schema normalization, provenance
+fingerprints, and the regression gate (no benches are actually run)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    check_provenance,
+    check_regression,
+    load_bench_report,
+    normalize_report,
+)
+from repro.perf.suite import GUARDED_RATES, PROVENANCE_FIELDS, print_trajectory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_report(env=None, benches=None, schema=2):
+    report = {"schema": schema, "benches": benches or {}}
+    if env is not None:
+        report["env"] = env
+    return report
+
+
+class TestNormalize:
+    def test_schema_1_upgraded(self):
+        report = {"benches": {"engine_event_rate": {"events_per_sec": 1.0}}}
+        out = normalize_report(report)
+        assert out["schema"] == 2
+        assert out["schema_original"] == 1
+        assert out["env"] == {}
+        assert out["benches"]["engine_event_rate"]["events_per_sec"] == 1.0
+
+    def test_schema_2_passthrough(self):
+        report = make_report(env={"platform": "x"}, schema=2)
+        out = normalize_report(report)
+        assert out["schema_original"] == 2
+        assert out["env"] == {"platform": "x"}
+
+    def test_missing_blocks_defaulted(self):
+        out = normalize_report({})
+        assert out["env"] == {} and out["benches"] == {}
+
+    def test_load_checked_in_reports(self):
+        # Every historical BENCH_*.json vintage must parse uniformly.
+        paths = sorted(REPO_ROOT.glob("BENCH_PR*.json"))
+        assert paths, "expected checked-in bench reports at the repo root"
+        for path in paths:
+            report = load_bench_report(path)
+            assert report["schema"] == 2
+            assert isinstance(report["env"], dict)
+            assert report["benches"], path
+
+    def test_load_baseline(self):
+        baseline = load_bench_report(REPO_ROOT / "benchmarks/perf_baseline.json")
+        guarded = {bench for bench, _ in GUARDED_RATES}
+        assert guarded <= set(baseline["benches"])
+
+
+class TestProvenance:
+    ENV = {
+        "platform": "Linux-6.0-x86_64",
+        "python_version": "3.11.7",
+        "implementation": "CPython",
+        "cpu_count": 4,
+    }
+
+    def test_identical_env_clean(self):
+        report = make_report(env=dict(self.ENV))
+        baseline = make_report(env=dict(self.ENV))
+        assert check_provenance(report, baseline) == []
+
+    def test_each_field_detected(self):
+        for field in PROVENANCE_FIELDS:
+            run_env = dict(self.ENV)
+            run_env[field] = "something-else"
+            mismatches = check_provenance(
+                make_report(env=run_env), make_report(env=dict(self.ENV))
+            )
+            assert len(mismatches) == 1
+            assert field in mismatches[0]
+
+    def test_schema_1_baseline_flagged(self):
+        mismatches = check_provenance(
+            make_report(env=dict(self.ENV)), normalize_report({})
+        )
+        assert len(mismatches) == 1
+        assert "no environment fingerprint" in mismatches[0]
+
+    def test_extra_env_fields_ignored(self):
+        base_env = dict(self.ENV, git_sha="abc123")
+        run_env = dict(self.ENV, git_sha="def456")
+        assert check_provenance(
+            make_report(env=run_env), make_report(env=base_env)
+        ) == []
+
+
+class TestRegressionGate:
+    def baseline(self, **overrides):
+        benches = {
+            "engine_event_rate": {"events_per_sec": 1000.0, "tolerance": 0.10},
+            "datapath_rate": {"packets_per_sec": 100.0, "tolerance": 0.10},
+            "fluid_rate": {"flows_per_sec": 500.0},
+            "fluid_rate_1m": {"flow_steps_per_sec": 5000.0},
+            "parallel_speedup": {"points_per_sec": 10.0},
+        }
+        benches.update(overrides)
+        return make_report(benches=benches)
+
+    def test_clean_pass(self):
+        report = self.baseline()
+        assert check_regression(report, self.baseline(), 0.20) == []
+
+    def test_default_tolerance(self):
+        report = self.baseline(fluid_rate={"flows_per_sec": 390.0})
+        failures = check_regression(report, self.baseline(), 0.20)
+        assert len(failures) == 1 and "fluid_rate.flows_per_sec" in failures[0]
+        # 390 > 500 * (1 - 0.25): a looser gate passes.
+        assert check_regression(report, self.baseline(), 0.25) == []
+
+    def test_per_bench_tolerance_overrides_default(self):
+        # 850 is fine under the 20% default but trips the entry's own 10%.
+        report = self.baseline(engine_event_rate={"events_per_sec": 850.0})
+        failures = check_regression(report, self.baseline(), 0.20)
+        assert len(failures) == 1
+        assert "engine_event_rate" in failures[0]
+        assert "10%" in failures[0]
+
+    def test_partial_report_skips_missing_benches(self):
+        # An --only run guards only what it measured.
+        report = make_report(
+            benches={"fluid_rate_1m": {"flow_steps_per_sec": 6000.0}}
+        )
+        assert check_regression(report, self.baseline(), 0.20) == []
+
+    def test_partial_report_still_guards_measured(self):
+        report = make_report(
+            benches={"fluid_rate_1m": {"flow_steps_per_sec": 1.0}}
+        )
+        failures = check_regression(report, self.baseline(), 0.20)
+        assert len(failures) == 1 and "fluid_rate_1m" in failures[0]
+
+    def test_obs_budget(self):
+        baseline = self.baseline(obs_overhead={"max_overhead_frac": 0.05})
+        report = self.baseline(obs_overhead={"overhead_frac": 0.20})
+        failures = check_regression(report, baseline, 0.20)
+        assert len(failures) == 1 and "obs_overhead" in failures[0]
+        report = self.baseline(obs_overhead={"overhead_frac": 0.01})
+        assert check_regression(report, baseline, 0.20) == []
+
+    def test_checked_in_baseline_has_tight_gates(self):
+        # The satellite contract: engine and datapath floors run at 10%.
+        baseline = load_bench_report(REPO_ROOT / "benchmarks/perf_baseline.json")
+        for bench in ("engine_event_rate", "datapath_rate"):
+            assert baseline["benches"][bench]["tolerance"] == pytest.approx(0.10)
+        assert (
+            baseline["benches"]["fluid_rate_1m"]["flow_steps_per_sec"]
+            >= 5_000_000
+        )
+
+
+class TestTrajectory:
+    def test_renders_all_vintages(self, capsys, tmp_path):
+        old = tmp_path / "BENCH_OLD.json"  # schema 1: no env block
+        old.write_text(
+            json.dumps({"benches": {"engine_event_rate": {"events_per_sec": 1.0}}})
+        )
+        new = tmp_path / "BENCH_NEW.json"
+        new.write_text(
+            json.dumps(
+                make_report(
+                    env={"platform": "Linux-x"},
+                    benches={"datapath_rate": {"packets_per_sec": 2.0}},
+                )
+            )
+        )
+        assert print_trajectory([old, new]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_OLD" in out and "BENCH_NEW" in out
+        assert "engine_event_rate.events_per_sec" in out
+
+    def test_unreadable_report_fails(self, tmp_path, capsys):
+        assert print_trajectory([tmp_path / "missing.json"]) == 1
+        assert "cannot read" in capsys.readouterr().err
