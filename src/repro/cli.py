@@ -12,7 +12,11 @@ Gives operators the control-plane workflow without writing Python:
   million-flow solver (``--backend columnar``);
 * ``repro report``         — run a demo congestion scenario with the
   sim-time profiler and full metrics instrumentation enabled, then
-  print the per-component wall-clock profile and key counters;
+  print the per-component wall-clock profile and key counters
+  (``--backend columnar`` profiles the columnar fluid solver instead);
+* ``repro trace``          — merge a campaign results directory
+  (``campaign.json`` journal + flight-recorder dumps) into one
+  Chrome/Perfetto trace-event JSON timeline;
 * ``repro amplification``  — the Section 3.3 arithmetic for an MTU;
 * ``repro capabilities``   — the Table 1 / Table 2 matrices;
 * ``repro resources``      — Table 4 estimates for a CC algorithm;
@@ -204,6 +208,12 @@ def _campaign_metrics_registry(
     registry.counter("repro_campaign_tasks_total").value = stats["tasks"]
     registry.counter("repro_campaign_tasks_failed_total").value = stats["failed"]
     registry.counter("repro_campaign_events_total").value = stats["events_total"]
+    registry.counter("repro_campaign_retries_total").value = stats["retries_total"]
+    registry.counter("repro_campaign_timeouts_total").value = stats["timeouts"]
+    registry.counter("repro_campaign_crashes_total").value = stats["crashes"]
+    registry.counter("repro_campaign_task_exceptions_total").value = (
+        stats["task_exceptions"]
+    )
     registry.gauge("repro_campaign_workers").value = stats["workers"]
     registry.gauge("repro_campaign_wall_seconds").value = stats["campaign_wall_s"]
     registry.gauge("repro_campaign_tasks_per_second").value = stats["tasks_per_sec"]
@@ -220,6 +230,7 @@ def _campaign_metrics_registry(
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import sweep_campaign
+    from repro.parallel import CampaignRunner
 
     grid = _parse_grid_axes(args.param)
     final_beats: dict[int, Heartbeat] = {}
@@ -230,17 +241,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if not args.no_progress:
             _render_heartbeat(beat)
 
-    points, campaign = sweep_campaign(
-        args.algorithm,
-        grid,
-        n_senders=args.senders,
-        duration_ps=int(args.duration_ms * MS),
-        ecn_threshold_bytes=args.ecn_threshold,
-        workers=args.workers,
-        seeds=args.seeds,
-        seed=args.seed,
-        on_heartbeat=on_heartbeat,
-    )
+    # --results-dir arms the campaign journal + per-task flight
+    # recorders (post-mortem dumps, `repro trace` input).
+    runner = None
+    if args.results_dir is not None:
+        runner = CampaignRunner(workers=args.workers, results_dir=args.results_dir)
+    try:
+        points, campaign = sweep_campaign(
+            args.algorithm,
+            grid,
+            n_senders=args.senders,
+            duration_ps=int(args.duration_ms * MS),
+            ecn_threshold_bytes=args.ecn_threshold,
+            workers=args.workers,
+            seeds=args.seeds,
+            seed=args.seed,
+            runner=runner,
+            on_heartbeat=on_heartbeat,
+        )
+    finally:
+        if runner is not None:
+            runner.close()
     stats = campaign.stats()
     print(
         f"swept {len(points)} {args.algorithm} configuration(s) "
@@ -249,6 +270,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{stats['tasks_per_sec']:.2f} sims/s, "
         f"{stats['events_total']:,} events)"
     )
+    if args.results_dir is not None:
+        print(f"campaign journal in {args.results_dir} "
+              f"(render with: repro trace {args.results_dir})")
     print(f"{'params':40s} {'throughput':>12s} {'fairness':>9s} "
           f"{'peak queue':>11s} {'flows':>6s}")
     for point in points:
@@ -316,24 +340,43 @@ def cmd_fluid(args: argparse.Namespace) -> int:
         levels = [int(token) for token in args.flows_per_port.split(",")]
     except ValueError:
         raise SystemExit("--flows-per-port must be a comma-separated int list")
+    if args.timeseries_out is not None and args.backend != "columnar":
+        raise SystemExit("--timeseries-out requires --backend columnar")
     distribution = websearch() if args.workload == "websearch" else hadoop()
-    points, campaign = fluid_fct_campaign(
-        [factories[name]() for name in names],
-        distribution,
-        workload=args.workload,
-        flows_per_port_levels=levels,
-        flows_total=args.flows_total,
-        n_ports=args.ports,
-        workers=args.workers,
-        seed=args.seed,
-        backend=args.backend,
-    )
+    from repro.parallel import CampaignRunner
+
+    runner = None
+    if args.results_dir is not None:
+        runner = CampaignRunner(workers=args.workers, results_dir=args.results_dir)
+    try:
+        points, campaign = fluid_fct_campaign(
+            [factories[name]() for name in names],
+            distribution,
+            workload=args.workload,
+            flows_per_port_levels=levels,
+            flows_total=args.flows_total,
+            n_ports=args.ports,
+            workers=args.workers,
+            seed=args.seed,
+            backend=args.backend,
+            runner=runner,
+            timeseries_dir=args.timeseries_out,
+            timeseries_sample_every=args.timeseries_every,
+        )
+    finally:
+        if runner is not None:
+            runner.close()
     stats = campaign.stats()
     print(
         f"fluid campaign ({args.backend} backend): {len(points)} cell(s), "
         f"{stats['workers']} worker(s), {stats['campaign_wall_s']:.1f} s wall, "
         f"{stats['events_total']:,} flow(-step)s"
     )
+    if args.timeseries_out is not None:
+        print(f"per-bottleneck timeseries (.npz per cell) in {args.timeseries_out}")
+    if args.results_dir is not None:
+        print(f"campaign journal in {args.results_dir} "
+              f"(render with: repro trace {args.results_dir})")
     print(f"{'algorithm':10s} {'flows/port':>10s} {'mean':>10s} {'p50':>10s} "
           f"{'p99':>10s} {'per-slot':>12s} {'aggregate':>12s}")
     for point in points:
@@ -358,8 +401,82 @@ def cmd_fluid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_columnar(args: argparse.Namespace) -> int:
+    """Solver-telemetry report for one closed-loop columnar fluid run."""
+    import time
+
+    import numpy as np
+
+    from repro.fluid import dcqcn_profile, dctcp_profile, ideal_profile
+    from repro.fluid.solver import ColumnarFluidSolver, kernel_for_profile
+    from repro.obs import instrument_fluid_solver
+    from repro.workload import hadoop, websearch
+
+    factories = {
+        "dctcp": dctcp_profile,
+        "dcqcn": dcqcn_profile,
+        "ideal": ideal_profile,
+    }
+    if args.algorithm not in factories:
+        raise SystemExit(
+            f"columnar report supports fluid profiles {sorted(factories)}, "
+            f"got {args.algorithm!r}"
+        )
+    profile = factories[args.algorithm]()
+    distribution = websearch() if args.workload == "websearch" else hadoop()
+    n_ports = args.senders
+    solver = ColumnarFluidSolver(
+        n_bottlenecks=n_ports,
+        seed=args.seed,
+        capacity_hint=n_ports * args.flows_per_port,
+    )
+    solver.enable_telemetry()
+    registry = MetricsRegistry()
+    instrument_fluid_solver(solver, registry)
+    bottleneck = np.repeat(np.arange(n_ports, dtype=np.int32), args.flows_per_port)
+    sizes = distribution.sample_many(solver.rng, bottleneck.size)
+    solver.add_flows(sizes, bottleneck=bottleneck, kernel=kernel_for_profile(profile))
+    start = time.perf_counter()
+    run = solver.run_closed_loop(distribution, flows_total=args.flows_total)
+    wall = time.perf_counter() - start
+
+    series = solver.telemetry.arrays()
+    rate = run.flow_steps / wall if wall > 0 else 0.0
+    print(
+        f"profiled {args.algorithm} columnar closed loop "
+        f"({n_ports} bottlenecks x {args.flows_per_port} flows): "
+        f"{run.steps:,} steps, {run.flow_steps:,} flow-steps in {wall:.3f} s "
+        f"({rate / 1e6:.2f} M flow-steps/s)"
+    )
+    print()
+    print(f"{'bottleneck':>10s} {'mean queue':>11s} {'peak queue':>11s} "
+          f"{'mark frac':>10s} {'mean rate':>12s} {'mean flows':>10s}")
+    for port in range(n_ports):
+        print(f"{port:>10d} {series['queue_bytes'][:, port].mean() / 1000:>9.1f}kB "
+              f"{series['queue_bytes'][:, port].max() / 1000:>9.1f}kB "
+              f"{series['mark'][:, port].mean():>10.3f} "
+              f"{format_rate(series['offered_bps'][:, port].mean()):>12s} "
+              f"{series['active_flows'][:, port].mean():>10.1f}")
+    print()
+    fcts = run.fcts_us
+    print(f"FCT mean/p50/p99: {np.mean(fcts):.1f} / "
+          f"{np.percentile(fcts, 50):.1f} / {np.percentile(fcts, 99):.1f} us "
+          f"({fcts.size:,} completions)")
+    print("solver counters:")
+    for name in ("repro_fluid_steps_total", "repro_fluid_flow_steps_total",
+                 "repro_fluid_flows_completed_total",
+                 "repro_fluid_compactions_total"):
+        value = sum(s.value for s in registry.collect() if s.name == name)
+        print(f"  {name:38s}: {value:,.0f}")
+    if args.metrics_out is not None:
+        print(f"wrote {write_metrics(registry, args.metrics_out)}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Profile-and-counters report for one demo congestion scenario."""
+    if args.backend == "columnar":
+        return _report_columnar(args)
     cp = ControlPlane()
     cp.deploy(
         TestConfig(
@@ -407,6 +524,29 @@ def cmd_report(args: argparse.Namespace) -> int:
           f"{family('repro_sim_events_cancelled_total'):,.0f}")
     if args.metrics_out is not None:
         print(f"wrote {write_metrics(registry, args.metrics_out)}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Merge a campaign results dir into one Chrome trace-event file."""
+    from repro.obs.trace import campaign_trace_events, write_chrome_trace
+
+    try:
+        events = campaign_trace_events(args.campaign_dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    out = args.output
+    if out is None:
+        out = str(Path(args.campaign_dir) / "trace.json")
+    path = write_chrome_trace(
+        out, events, metadata={"campaign_dir": str(args.campaign_dir)}
+    )
+    spans = sum(1 for e in events if e["ph"] == "X")
+    instants = sum(1 for e in events if e["ph"] == "i")
+    counters = sum(1 for e in events if e["ph"] == "C")
+    print(f"wrote {path} ({len(events)} events: {spans} spans, "
+          f"{instants} instants, {counters} counter samples)")
+    print("open it in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -480,7 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--size-packets", type=int, default=5000)
     p_run.add_argument("--duration-ms", type=float, default=5.0)
     p_run.add_argument("--int-enabled", action="store_true")
-    p_run.add_argument("--trace", action="store_true")
+    p_run.add_argument(
+        "--trace",
+        action="store_true",
+        help="log every per-flow CC decision (cwnd/rate updates, slow-path "
+             "alpha) to the in-model QDMA logger (tester.nic.logger); "
+             "grows with decision count, so off by default",
+    )
     p_run.add_argument("--export-dir", default=None)
     p_run.add_argument(
         "--metrics-out",
@@ -533,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress live [hb] heartbeat lines",
     )
+    p_sweep.add_argument(
+        "--results-dir",
+        default=None,
+        help="write a campaign journal + per-task flight-recorder "
+             "post-mortems here (input for `repro trace`)",
+    )
 
     p_fluid = sub.add_parser(
         "fluid",
@@ -560,12 +712,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_fluid.add_argument("--workers", type=int, default=1)
     p_fluid.add_argument("--seed", type=int, default=0)
     p_fluid.add_argument("--json", default=None, help="write results as JSON")
+    p_fluid.add_argument(
+        "--results-dir",
+        default=None,
+        help="write a campaign journal + per-task flight-recorder "
+             "post-mortems here (input for `repro trace`)",
+    )
+    p_fluid.add_argument(
+        "--timeseries-out",
+        default=None,
+        help="(columnar only) save per-step per-bottleneck aggregates as "
+             "one .npz per grid cell into this directory",
+    )
+    p_fluid.add_argument(
+        "--timeseries-every",
+        type=int,
+        default=1,
+        help="sample every k-th solver step into the timeseries (default 1)",
+    )
 
     p_report = sub.add_parser(
         "report", help="profile a demo scenario and print metrics"
     )
     p_report.add_argument("--algorithm", default="dctcp")
-    p_report.add_argument("--senders", type=int, default=3)
+    p_report.add_argument(
+        "--backend", choices=("packet", "columnar"), default="packet",
+        help="packet: event-driven demo scenario with the sim profiler; "
+             "columnar: closed-loop fluid-solver run with step telemetry",
+    )
+    p_report.add_argument("--senders", type=int, default=3,
+                          help="sender ports (columnar: bottleneck count)")
     p_report.add_argument("--size-packets", type=int, default=10**9)
     p_report.add_argument("--duration-ms", type=float, default=2.0)
     p_report.add_argument("--ecn-threshold", type=int, default=84_000)
@@ -573,9 +749,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--top", type=int, default=12,
                           help="profile rows to print")
     p_report.add_argument(
+        "--workload", choices=("websearch", "hadoop"), default="websearch",
+        help="(columnar) flow-size distribution",
+    )
+    p_report.add_argument("--flows-per-port", type=int, default=64,
+                          help="(columnar) concurrent flows per bottleneck")
+    p_report.add_argument("--flows-total", type=int, default=20_000,
+                          help="(columnar) FCT samples to collect")
+    p_report.add_argument(
         "--metrics-out",
         default=None,
         help="also write the full metrics snapshot (.prom/.txt/JSON)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a campaign results dir as Chrome/Perfetto trace JSON",
+    )
+    p_trace.add_argument(
+        "campaign_dir",
+        help="campaign results directory (campaign.json journal and/or "
+             "flight-task*.json post-mortem dumps)",
+    )
+    p_trace.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default: <campaign_dir>/trace.json)",
     )
     return parser
 
@@ -589,6 +787,7 @@ HANDLERS = {
     "sweep": cmd_sweep,
     "fluid": cmd_fluid,
     "report": cmd_report,
+    "trace": cmd_trace,
 }
 
 

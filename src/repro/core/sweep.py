@@ -31,6 +31,7 @@ from repro.measure.fairness import jain_index
 from repro.measure.throughput import ThroughputSampler
 from repro.net.switch import NetworkSwitch
 from repro.net.topology import Topology
+from repro.obs import flight
 from repro.obs.heartbeat import Heartbeat, run_with_heartbeats
 from repro.parallel import CampaignResult, CampaignRunner, derive_task_seed, report_events
 from repro.sim import Simulator
@@ -158,6 +159,10 @@ def run_sweep_point(
     cp.wire_loopback_fabric(ecn_threshold_bytes=ecn_threshold_bytes)
     sampler = tester.enable_rate_sampling(period_ps=500 * US)
     cp.start_flows(size_packets=size_packets, pattern="fan_in")
+    # Flight-recorder hookup: a no-op unless the campaign runner armed a
+    # per-task recorder (results_dir campaigns); recording only reads
+    # model state, so the event stream is identical either way.
+    flight.attach_control_plane(cp)
     # Heartbeat-aware run: slices wall-clock execution (never the sim
     # timeline) so a campaign listener sees live progress; without a
     # configured sink this is exactly ``cp.run(duration_ps=...)``.

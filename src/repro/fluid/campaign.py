@@ -15,13 +15,15 @@ worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.fluid.model import FluidCcProfile, FluidResult, FluidSimulator
 from repro.fluid.solver import ColumnarFluidSolver, SolverConfig, kernel_for_profile
+from repro.obs import flight
 from repro.parallel import CampaignResult, CampaignRunner, derive_task_seed, report_events
 from repro.units import RATE_100G
 from repro.workload.distributions import EmpiricalCdf
@@ -56,8 +58,16 @@ def _run_columnar(
     port_capacity_bps: float,
     seed: int,
     dt_ps: Optional[int],
+    timeseries_dir: Optional[Union[str, Path]] = None,
+    timeseries_sample_every: int = 1,
 ) -> FluidResult:
-    """One closed-loop columnar run shaped like a closed-form one."""
+    """One closed-loop columnar run shaped like a closed-form one.
+
+    With ``timeseries_dir`` set, per-step bottleneck aggregates are
+    sampled (see :class:`~repro.fluid.solver.SolverTelemetry`) and saved
+    as ``timeseries-<alg>-fpp<N>.npz`` in that directory.  Sampling only
+    reads solver state, so the run stays bit-identical.
+    """
     config = SolverConfig() if dt_ps is None else SolverConfig(dt_ps=dt_ps)
     solver = ColumnarFluidSolver(
         n_bottlenecks=n_ports,
@@ -66,6 +76,9 @@ def _run_columnar(
         seed=seed,
         capacity_hint=n_ports * flows_per_port,
     )
+    if timeseries_dir is not None:
+        solver.enable_telemetry(sample_every=timeseries_sample_every)
+    flight.attach(solver=solver)
     bottleneck = np.repeat(
         np.arange(n_ports, dtype=np.int32), flows_per_port
     )
@@ -75,6 +88,12 @@ def _run_columnar(
     )
     run = solver.run_closed_loop(distribution, flows_total=flows_total)
     report_events(run.flow_steps)
+    if timeseries_dir is not None and solver.telemetry is not None:
+        out_dir = Path(timeseries_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        solver.telemetry.save(
+            out_dir / f"timeseries-{profile.name}-fpp{flows_per_port}.npz"
+        )
     return FluidResult(
         algorithm=profile.name,
         fcts_us=run.fcts_us,
@@ -96,16 +115,25 @@ def run_fluid_result(
     seed: int = 0,
     backend: str = "closed_form",
     dt_ps: Optional[int] = None,
+    timeseries_dir: Optional[Union[str, Path]] = None,
+    timeseries_sample_every: int = 1,
 ) -> FluidResult:
     """One full fluid run on the selected backend, raw FCT arrays and all.
 
     ``backend="closed_form"`` integrates each flow's rate profile
     exactly; ``backend="columnar"`` runs the time-stepped columnar
     solver (dynamic queue/marking feedback, million-flow scale).
+    ``timeseries_dir`` (columnar only) saves per-step bottleneck
+    aggregates as an ``.npz`` timeseries.
     """
     if backend not in FLUID_BACKENDS:
         raise ConfigError(
             f"unknown fluid backend {backend!r}; choose from {FLUID_BACKENDS}"
+        )
+    if timeseries_dir is not None and backend != "columnar":
+        raise ConfigError(
+            "timeseries output is a columnar-solver feature; "
+            f"backend {backend!r} does not step per-bottleneck state"
         )
     if backend == "columnar":
         return _run_columnar(
@@ -117,6 +145,8 @@ def run_fluid_result(
             port_capacity_bps=port_capacity_bps,
             seed=seed,
             dt_ps=dt_ps,
+            timeseries_dir=timeseries_dir,
+            timeseries_sample_every=timeseries_sample_every,
         )
     fluid = FluidSimulator(
         n_ports=n_ports,
@@ -141,11 +171,15 @@ def run_fluid_point(
     seed: int = 0,
     backend: str = "closed_form",
     dt_ps: Optional[int] = None,
+    timeseries_dir: Optional[Union[str, Path]] = None,
+    timeseries_sample_every: int = 1,
 ) -> FluidCampaignPoint:
     """One campaign cell: a full fluid run reduced to its FCT summary.
 
     Top level and closure-free so it pickles into pool workers; see
-    :func:`run_fluid_result` for the backend semantics.
+    :func:`run_fluid_result` for the backend semantics (including
+    ``timeseries_dir``, which works pooled because each cell writes its
+    own distinctly named ``.npz``).
     """
     result = run_fluid_result(
         profile,
@@ -157,6 +191,8 @@ def run_fluid_point(
         seed=seed,
         backend=backend,
         dt_ps=dt_ps,
+        timeseries_dir=timeseries_dir,
+        timeseries_sample_every=timeseries_sample_every,
     )
     fcts = result.fcts_us
     return FluidCampaignPoint(
@@ -185,6 +221,8 @@ def fluid_fct_campaign(
     backend: str = "closed_form",
     dt_ps: Optional[int] = None,
     runner: Optional[CampaignRunner] = None,
+    timeseries_dir: Optional[Union[str, Path]] = None,
+    timeseries_sample_every: int = 1,
 ) -> tuple[list[FluidCampaignPoint], CampaignResult]:
     """Run the profile × load grid, sharded across ``workers`` processes.
 
@@ -216,6 +254,10 @@ def fluid_fct_campaign(
                     "backend": backend,
                     "dt_ps": dt_ps,
                     "seed": derive_task_seed(seed, profile_index, level_index),
+                    "timeseries_dir": (
+                        str(timeseries_dir) if timeseries_dir is not None else None
+                    ),
+                    "timeseries_sample_every": timeseries_sample_every,
                 }
             )
     own_runner = runner is None

@@ -69,6 +69,7 @@ __all__ = [
     "SolverConfig",
     "ColumnarFluidSolver",
     "SolverRunResult",
+    "SolverTelemetry",
     "kernel_for_profile",
 ]
 
@@ -151,6 +152,83 @@ class SolverRunResult:
     flow_steps: int
 
 
+class SolverTelemetry:
+    """Vectorized per-step timeseries of per-bottleneck aggregates.
+
+    Opt-in via :meth:`ColumnarFluidSolver.enable_telemetry`.  Each
+    sampled step appends one row of per-bottleneck values — standing
+    queue (bytes), offered load (bps), step-marking indicator, active
+    flow counts — plus the step's completion count, into preallocated
+    NumPy arrays grown by doubling, so sampling a million-flow run adds
+    a handful of O(n_bottlenecks) copies per step and never touches the
+    per-flow columns.  ``sample_every=k`` keeps every k-th step.
+    """
+
+    def __init__(
+        self, n_bottlenecks: int, *, sample_every: int = 1, capacity_hint: int = 1024
+    ) -> None:
+        if sample_every < 1:
+            raise ConfigError(f"sample_every must be >= 1, got {sample_every}")
+        self.n_bottlenecks = n_bottlenecks
+        self.sample_every = sample_every
+        self._step_counter = 0
+        self._len = 0
+        cap = max(16, int(capacity_hint))
+        self._time_ps = np.zeros(cap, dtype=np.float64)
+        self._queue_bytes = np.zeros((cap, n_bottlenecks), dtype=np.float64)
+        self._offered_bps = np.zeros((cap, n_bottlenecks), dtype=np.float64)
+        self._mark = np.zeros((cap, n_bottlenecks), dtype=np.float64)
+        self._active_flows = np.zeros((cap, n_bottlenecks), dtype=np.float64)
+        self._completions = np.zeros(cap, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _grow(self) -> None:
+        for name in (
+            "_time_ps", "_queue_bytes", "_offered_bps",
+            "_mark", "_active_flows", "_completions",
+        ):
+            old = getattr(self, name)
+            new = np.zeros((old.shape[0] * 2,) + old.shape[1:], dtype=old.dtype)
+            new[: self._len] = old[: self._len]
+            setattr(self, name, new)
+
+    def sample(self, time_ps, queue_bits, offered_bps, mark, counts, completed) -> None:
+        """Record one step (honouring ``sample_every``); driven by the solver."""
+        due = self._step_counter % self.sample_every == 0
+        self._step_counter += 1
+        if not due:
+            return
+        if self._len == self._time_ps.shape[0]:
+            self._grow()
+        i = self._len
+        self._time_ps[i] = time_ps
+        self._queue_bytes[i] = queue_bits
+        self._queue_bytes[i] /= BITS_PER_BYTE
+        self._offered_bps[i] = offered_bps
+        self._mark[i] = mark
+        self._active_flows[i] = counts
+        self._completions[i] = completed
+        self._len = i + 1
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Trimmed views of the sampled series (no copies)."""
+        n = self._len
+        return {
+            "time_ps": self._time_ps[:n],
+            "queue_bytes": self._queue_bytes[:n],
+            "offered_bps": self._offered_bps[:n],
+            "mark": self._mark[:n],
+            "active_flows": self._active_flows[:n],
+            "completions": self._completions[:n],
+        }
+
+    def save(self, path) -> None:
+        """Write the series as a compressed ``.npz`` archive."""
+        np.savez_compressed(path, **self.arrays())
+
+
 class ColumnarFluidSolver:
     """Dynamic many-flow fluid model over shared bottlenecks.
 
@@ -196,6 +274,14 @@ class ColumnarFluidSolver:
         self.flow_steps = 0
         self.flows_added = 0
         self.flows_completed = 0
+        #: Times :meth:`compact` actually freed rows.
+        self.compactions = 0
+        #: Opt-in per-step telemetry (see :meth:`enable_telemetry`);
+        #: None keeps the step loop free of sampling entirely.
+        self._telemetry: Optional[SolverTelemetry] = None
+        #: Opt-in :class:`repro.obs.flight.FlightRecorder` (rare events
+        #: only: compactions).
+        self._flight = None
 
         rows = max(16, int(capacity_hint))
         self._n = 0  # rows in use (live region: [0, _n))
@@ -351,6 +437,12 @@ class ColumnarFluidSolver:
             column[: live.size] = column[live]
         self._n = live.size
         self._kernel_rows = None
+        self.compactions += 1
+        if self._flight is not None:
+            self._flight.record(
+                int(self.now_ps), "solver", "compact",
+                freed=int(freed), live=int(live.size),
+            )
         return freed
 
     def _maybe_compact(self) -> None:
@@ -368,10 +460,35 @@ class ColumnarFluidSolver:
         for _ in range(n_steps):
             self._step_once()
 
+    def enable_telemetry(
+        self, *, sample_every: int = 1, capacity_hint: int = 1024
+    ) -> SolverTelemetry:
+        """Attach per-step aggregate sampling (opt-in; see
+        :class:`SolverTelemetry`).  Sampling only *reads* model state, so
+        a telemetered run stays bit-identical to an untelemetered one."""
+        self._telemetry = SolverTelemetry(
+            self.n_bottlenecks,
+            sample_every=sample_every,
+            capacity_hint=capacity_hint,
+        )
+        return self._telemetry
+
+    def disable_telemetry(self) -> None:
+        self._telemetry = None
+
+    @property
+    def telemetry(self) -> Optional[SolverTelemetry]:
+        return self._telemetry
+
     def _step_once(self) -> None:
         cfg = self.config
         n = self._n
         if n == 0:
+            if self._telemetry is not None:
+                zeros = np.zeros(self.n_bottlenecks)
+                self._telemetry.sample(
+                    self.now_ps, self.queue_bits, zeros, zeros, zeros, 0
+                )
             self.now_ps += cfg.dt_ps
             self.steps_run += 1
             return
@@ -501,6 +618,15 @@ class ColumnarFluidSolver:
                 rate[done] = 0.0
                 remaining[done] = 0.0
                 self._n_active -= done.size
+
+        if self._telemetry is not None:
+            # Post-update aggregates: the state the *next* step will see,
+            # except counts/offered which are this step's aggregation
+            # pass (pre-completion) — documented in docs/OBSERVABILITY.md.
+            self._telemetry.sample(
+                self.now_ps, self.queue_bits, offered, mark_b, counts,
+                int(done.size),
+            )
 
         self.now_ps += cfg.dt_ps
         self.steps_run += 1

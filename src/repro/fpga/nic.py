@@ -90,6 +90,10 @@ class FpgaNicConfig:
 class FpgaNic(Device):
     """FPGA-NIC half of the tester."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; tested only on
+    #: actual CC rate/window transitions.
+    _flight = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -387,7 +391,15 @@ class FpgaNic(Device):
 
     def _apply_output(self, flow: FlowState, out: IntrinsicOutput) -> None:
         if out.cwnd_or_rate is not None:
+            previous = flow.cwnd_or_rate
             flow.cwnd_or_rate = self._clamp(out.cwnd_or_rate)
+            if self._flight is not None and flow.cwnd_or_rate != previous:
+                self._flight.record(
+                    self.sim.now, "cc", "rate_update",
+                    flow=flow.flow_id,
+                    cwnd_or_rate=flow.cwnd_or_rate,
+                    previous=previous,
+                )
             if self.config.trace_cc:
                 self.logger.log(
                     self.sim.now,

@@ -31,6 +31,10 @@ PAUSE_REACTION_PS = 100 * NANOSECOND
 class PfcController:
     """Watermark-based PAUSE/RESUME for one switch."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; only the
+    #: pause/resume transition (already rare by design) tests it.
+    _flight = None
+
     def __init__(
         self,
         switch: NetworkSwitch,
@@ -71,6 +75,11 @@ class PfcController:
 
     def _set_upstream(self, pause: bool) -> None:
         """PAUSE/RESUME every neighbour's transmitter toward this switch."""
+        if self._flight is not None:
+            self._flight.record(
+                self.sim.now, "pfc", "pause" if pause else "resume",
+                switch=self.switch.name, congested_ports=len(self._congested),
+            )
         for port in self.switch.ports:
             if port.link is None:
                 continue

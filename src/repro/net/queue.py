@@ -34,6 +34,13 @@ class QueueStats:
 class DropTailQueue:
     """FIFO with a byte-capacity bound; arrivals beyond capacity are dropped."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level None
+    #: so an unattached queue pays only the rare-branch ``is not None``
+    #: checks (same contract as ``on_backlog_change``).
+    _flight = None
+    #: Human label used in flight events (set by ``flight.attach``).
+    flight_label = ""
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
@@ -57,9 +64,25 @@ class DropTailQueue:
         if self.backlog_bytes + packet.size_bytes > self.capacity_bytes:
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size_bytes
+            if self._flight is not None:
+                self._flight.note(
+                    "queue", "drop",
+                    queue=self.flight_label,
+                    size_bytes=packet.size_bytes,
+                    backlog_bytes=self.backlog_bytes,
+                    flow=packet.flow_id,
+                )
             return False
         self._queue.append(packet)
         self.backlog_bytes += packet.size_bytes
+        if self._flight is not None and self._flight.enqueues:
+            self._flight.note(
+                "queue", "enqueue",
+                queue=self.flight_label,
+                size_bytes=packet.size_bytes,
+                backlog_bytes=self.backlog_bytes,
+                flow=packet.flow_id,
+            )
         self._on_accept(packet)
         self.stats.enqueued_packets += 1
         self.stats.enqueued_bytes += packet.size_bytes
@@ -102,3 +125,10 @@ class EcnQueue(DropTailQueue):
             packet.mark_ce()
             if packet.ce_marked and not before:
                 self.stats.ecn_marked_packets += 1
+                if self._flight is not None:
+                    self._flight.note(
+                        "queue", "ecn_mark",
+                        queue=self.flight_label,
+                        backlog_bytes=self.backlog_bytes,
+                        flow=packet.flow_id,
+                    )

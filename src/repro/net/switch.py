@@ -22,6 +22,10 @@ from repro.units import RATE_100G
 class NetworkSwitch(Device):
     """Output-queued switch with static destination-based forwarding."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level None
+    #: so only the no-route branch ever tests it.
+    _flight = None
+
     def __init__(self, sim: Simulator, name: Optional[str] = None) -> None:
         super().__init__(sim, name)
         self._forwarding: dict[int, Port] = {}
@@ -89,6 +93,11 @@ class NetworkSwitch(Device):
         out_port = self._select_port(packet)
         if out_port is None:
             self.dropped_no_route += 1
+            if self._flight is not None:
+                self._flight.record(
+                    self.sim.now, "switch", "drop_no_route",
+                    switch=self.name, dst=packet.dst, flow=packet.flow_id,
+                )
             return
         self.forwarded_packets += 1
         int_telemetry.stamp(packet, out_port, self.sim.now)

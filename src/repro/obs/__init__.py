@@ -24,11 +24,13 @@ from repro.obs.export import (
     to_prometheus,
     write_metrics,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.heartbeat import Heartbeat, run_with_heartbeats
 from repro.obs.instrument import (
     instrument_control_plane,
     instrument_engine,
     instrument_fifo,
+    instrument_fluid_solver,
     instrument_network_switch,
     instrument_packet_pool,
     instrument_pfc,
@@ -49,6 +51,7 @@ __all__ = [
     "SimProfiler",
     "ProfileReport",
     "ProfileRow",
+    "FlightRecorder",
     "Heartbeat",
     "run_with_heartbeats",
     "to_prometheus",
@@ -63,6 +66,7 @@ __all__ = [
     "instrument_control_plane",
     "instrument_engine",
     "instrument_fifo",
+    "instrument_fluid_solver",
     "instrument_network_switch",
     "instrument_packet_pool",
     "instrument_pfc",

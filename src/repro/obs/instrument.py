@@ -23,6 +23,7 @@ from repro.obs.metrics import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.control_plane import ControlPlane
     from repro.core.tester import MarlinTester
+    from repro.fluid.solver import ColumnarFluidSolver
     from repro.fpga.fifos import Fifo
     from repro.fpga.logger import QdmaLogger
     from repro.net.pfc import PfcController
@@ -220,6 +221,35 @@ def instrument_tester(
     registry.bind("repro_nic_rmw_stalls_total", lambda: nic.rmw_stalls)
     registry.bind("repro_nic_flows_completed_total", lambda: len(tester.fct))
     instrument_qdma(nic.logger, registry)
+    return registry
+
+
+def instrument_fluid_solver(
+    solver: "ColumnarFluidSolver", registry: MetricsRegistry, **labels: str
+) -> MetricsRegistry:
+    """The columnar fluid solver's step/population/compaction registers."""
+    registry.bind("repro_fluid_steps_total", lambda: solver.steps_run, **labels)
+    registry.bind("repro_fluid_flow_steps_total", lambda: solver.flow_steps, **labels)
+    registry.bind("repro_fluid_flows_added_total", lambda: solver.flows_added, **labels)
+    registry.bind(
+        "repro_fluid_flows_completed_total", lambda: solver.flows_completed, **labels
+    )
+    registry.bind("repro_fluid_compactions_total", lambda: solver.compactions, **labels)
+    registry.bind(
+        "repro_fluid_active_flows", lambda: solver.n_active, kind="gauge", **labels
+    )
+    registry.bind(
+        "repro_fluid_rows", lambda: solver.n_rows, kind="gauge", **labels
+    )
+    registry.bind(
+        "repro_fluid_time_ps", lambda: solver.now_ps, kind="gauge", **labels
+    )
+    registry.bind(
+        "repro_fluid_queue_bits_total",
+        lambda: float(solver.queue_bits.sum()),
+        kind="gauge",
+        **labels,
+    )
     return registry
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 import importlib
 import itertools
+import json
 import multiprocessing
 import os
 import queue as queue_module
@@ -46,12 +47,14 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from traceback import format_exception_only
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import CampaignError
+from repro.obs import flight as _flight
 from repro.obs import heartbeat as _heartbeat
 from repro.obs.heartbeat import Heartbeat
 
@@ -96,15 +99,25 @@ def report_events(n_events: int) -> None:
     _TASK_EVENTS = int(n_events)
 
 
-def _warm_worker(preload: tuple[str, ...], heartbeat_sink: Any = None) -> None:
-    """Pool initializer: import the heavy modules once per worker and
-    install the campaign's heartbeat sink (a manager-queue proxy)."""
+def _warm_worker(
+    preload: tuple[str, ...],
+    heartbeat_sink: Any = None,
+    autodump: Optional[dict[str, Any]] = None,
+) -> None:
+    """Pool initializer: import the heavy modules once per worker,
+    install the campaign's heartbeat sink (a manager-queue proxy), and
+    arm per-task flight-recorder post-mortems when the campaign has a
+    results directory."""
     for name in preload:
         try:
             importlib.import_module(name)
         except ImportError:  # pragma: no cover - optional deps stay optional
             pass
     _heartbeat.configure(heartbeat_sink)
+    if autodump is not None:
+        _flight.configure_autodump(autodump.pop("dir"), **autodump)
+    else:
+        _flight.configure_autodump(None)
 
 
 @dataclass(frozen=True)
@@ -127,28 +140,40 @@ class _RawOutcome:
     wall_s: float
     events: int
     pid: int
+    start_unix: float
 
 
 def _execute_one(fn: Callable[..., Any], spec: _TaskSpec) -> _RawOutcome:
     """Run one task, catching application errors; shared by the worker
-    chunk loop and the inline (``workers<=1``) path."""
+    chunk loop and the inline (``workers<=1``) path.
+
+    When flight-recorder autodump is armed for this process (campaigns
+    with a results directory), the task runs bracketed by a per-task
+    recorder: a raising task finalizes its dump with the error, a
+    successful one removes its spool file, and a task that kills the
+    process outright leaves the last spooled snapshot as its post-mortem.
+    """
     global _TASK_EVENTS
     _TASK_EVENTS = 0
     _heartbeat.set_task(spec.index)
+    recorder = _flight.begin_task(spec.index)
+    start_unix = time.time()
     start = time.perf_counter()
     try:
         value = fn(*spec.args, **spec.kwargs)
     except Exception as exc:
         message = "".join(format_exception_only(exc)).strip()
+        _flight.end_task(recorder, ok=False, error=message)
         return _RawOutcome(
             spec.index, False, None, message,
-            time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
+            time.perf_counter() - start, _TASK_EVENTS, os.getpid(), start_unix,
         )
     finally:
         _heartbeat.set_task(None)
+    _flight.end_task(recorder, ok=True)
     return _RawOutcome(
         spec.index, True, value, None,
-        time.perf_counter() - start, _TASK_EVENTS, os.getpid(),
+        time.perf_counter() - start, _TASK_EVENTS, os.getpid(), start_unix,
     )
 
 
@@ -185,6 +210,9 @@ class TaskResult:
     events: int
     worker_pid: int
     attempts: int
+    #: Wall-clock start of the (final) execution; 0.0 when the task never
+    #: reported back (terminal crash/timeout).
+    start_unix: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -230,9 +258,16 @@ class CampaignResult:
         """Aggregate wall-clock / event statistics for reports."""
         walls = [result.wall_s for result in self.results]
         total_wall = sum(walls)
+        error_kinds = [result.error.kind for result in self.errors]
         return {
             "tasks": len(self.results),
             "failed": len(self.errors),
+            "retries_total": sum(
+                max(result.attempts - 1, 0) for result in self.results
+            ),
+            "timeouts": error_kinds.count("timeout"),
+            "crashes": error_kinds.count("crash"),
+            "task_exceptions": error_kinds.count("exception"),
             "workers": self.n_workers,
             "chunk_size": self.chunk_size,
             "campaign_wall_s": self.wall_s,
@@ -271,6 +306,7 @@ class CampaignRunner:
         backoff_cap_s: float = 2.0,
         preload: tuple[str, ...] = DEFAULT_PRELOAD,
         mp_context: Optional[Any] = None,
+        results_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise CampaignError(f"workers must be >= 0, got {workers}")
@@ -288,6 +324,13 @@ class CampaignRunner:
         self.backoff_cap_s = backoff_cap_s
         self.preload = tuple(preload)
         self.mp_context = mp_context
+        #: Campaign artifact directory.  When set, every task records a
+        #: flight-recorder ring spooled to ``<dir>/flight-task*.json``
+        #: (kept on failure, removed on success) and :meth:`run` writes a
+        #: ``campaign.json`` journal — the inputs of ``repro trace``.
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._stragglers = False
         #: Heartbeat transport: a manager-queue proxy handed to workers
@@ -314,13 +357,18 @@ class CampaignRunner:
             self._manager = None
             self._hb_queue = None
 
+    def _autodump_config(self) -> Optional[dict[str, Any]]:
+        if self.results_dir is None:
+            return None
+        return {"dir": str(self.results_dir)}
+
     def _get_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self.mp_context,
                 initializer=_warm_worker,
-                initargs=(self.preload, self._hb_queue),
+                initargs=(self.preload, self._hb_queue, self._autodump_config()),
             )
             self._executor_hb_queue = self._hb_queue
         return self._executor
@@ -426,9 +474,23 @@ class CampaignRunner:
         if not tasks:
             raise CampaignError("a campaign needs at least one task")
         specs = self._normalize(tasks, seed, seed_kwarg)
+        created_unix = time.time()
+        beats_log: list[dict[str, Any]] = []
+        if self.results_dir is not None:
+            # Journal every heartbeat (receive-stamped) for the campaign
+            # trace, forwarding to the caller's listener when present.
+            user_cb = on_heartbeat
+
+            def on_heartbeat(beat: Heartbeat) -> None:
+                beats_log.append(_journal_beat(beat))
+                if user_cb is not None:
+                    user_cb(beat)
+
         start = time.perf_counter()
         if self.workers <= 1 or len(specs) == 1:
             _heartbeat.configure(on_heartbeat)
+            if self.results_dir is not None:
+                _flight.configure_autodump(self.results_dir)
             try:
                 results = [
                     self._finalize(_execute_one(fn, spec), attempts=1)
@@ -436,12 +498,16 @@ class CampaignRunner:
                 ]
             finally:
                 _heartbeat.configure(None)
-            return CampaignResult(
+                if self.results_dir is not None:
+                    _flight.configure_autodump(None)
+            result = CampaignResult(
                 results=results,
                 n_workers=1,
                 chunk_size=len(specs),
                 wall_s=time.perf_counter() - start,
             )
+            self._write_journal(result, beats_log, created_unix)
+            return result
         if on_heartbeat is not None:
             self._ensure_heartbeat_queue()
         chunk_size = self._effective_chunk_size(len(specs))
@@ -450,12 +516,14 @@ class CampaignRunner:
         )
         if on_heartbeat is not None:
             self._drain_heartbeats(on_heartbeat)
-        return CampaignResult(
+        result = CampaignResult(
             results=[results_by_index[index] for index in range(len(specs))],
             n_workers=self.workers,
             chunk_size=chunk_size,
             wall_s=time.perf_counter() - start,
         )
+        self._write_journal(result, beats_log, created_unix)
+        return result
 
     @staticmethod
     def _finalize(outcome: _RawOutcome, attempts: int) -> TaskResult:
@@ -470,6 +538,62 @@ class CampaignRunner:
             events=outcome.events,
             worker_pid=outcome.pid,
             attempts=attempts,
+            start_unix=outcome.start_unix,
+        )
+
+    def _preserve_flight_dump(self, task_index: int, kind: str, attempt: int) -> None:
+        """Rename a dead worker's spooled ring so a retry of the same task
+        (which spools to the canonical name) cannot overwrite the
+        evidence.  Only crash/timeout need this: an exception's dump is
+        finalized worker-side and exceptions are never retried."""
+        if self.results_dir is None:
+            return
+        spool = _flight.task_dump_path(self.results_dir, task_index)
+        if not spool.exists():
+            return
+        preserved = spool.with_name(
+            f"flight-task{task_index:05d}-a{attempt}-{kind}.json"
+        )
+        try:
+            spool.replace(preserved)
+        except OSError:  # pragma: no cover - artifact dir raced away
+            pass
+
+    def _write_journal(
+        self,
+        result: CampaignResult,
+        beats_log: list[dict[str, Any]],
+        created_unix: float,
+    ) -> None:
+        """Persist the campaign journal ``repro trace`` merges."""
+        if self.results_dir is None:
+            return
+        payload = {
+            "schema": 1,
+            "kind": "campaign_journal",
+            "created_unix": created_unix,
+            "wall_s": result.wall_s,
+            "workers": result.n_workers,
+            "chunk_size": result.chunk_size,
+            "stats": result.stats(),
+            "tasks": [
+                {
+                    "index": task.index,
+                    "ok": task.ok,
+                    "start_unix": task.start_unix or None,
+                    "wall_s": task.wall_s,
+                    "pid": task.worker_pid,
+                    "events": task.events,
+                    "attempts": task.attempts,
+                    "error": str(task.error) if task.error else None,
+                    "error_kind": task.error.kind if task.error else None,
+                }
+                for task in result.results
+            ],
+            "heartbeats": beats_log,
+        }
+        (self.results_dir / "campaign.json").write_text(
+            json.dumps(payload, indent=1, default=str) + "\n"
         )
 
     def _run_pooled(
@@ -505,6 +629,11 @@ class CampaignRunner:
         def fail(spec: _TaskSpec, kind: str, message: str) -> None:
             """Retry an infra failure with backoff, or record it finally."""
             used = attempts[spec.index]
+            if kind != "exception":
+                # The worker died or was abandoned mid-run: its spooled
+                # flight ring is the post-mortem — keep it out of a
+                # retry's way.
+                self._preserve_flight_dump(spec.index, kind, used)
             if kind != "exception" and used <= self.max_retries:
                 delay = min(
                     self.backoff_base_s * (2.0 ** (used - 1)), self.backoff_cap_s
@@ -622,6 +751,20 @@ class CampaignRunner:
                 # Hung workers would survive a graceful shutdown.
                 self._teardown_executor(force=True)
         return final
+
+
+def _journal_beat(beat: Heartbeat) -> dict[str, Any]:
+    """A heartbeat as a JSON-safe journal row, stamped at receive time."""
+    return {
+        "task_id": beat.task_id,
+        "pid": beat.pid,
+        "recv_unix": time.time(),
+        "sim_now_ps": beat.sim_now_ps,
+        "sim_until_ps": beat.sim_until_ps,
+        "events_executed": beat.events_executed,
+        "wall_s": beat.wall_s,
+        "final": beat.final,
+    }
 
 
 def _spec_by_index(chunk: list[_TaskSpec], index: int) -> _TaskSpec:

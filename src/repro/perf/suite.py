@@ -316,8 +316,15 @@ def bench_obs_overhead(n_events: int = 20_000, repeats: int = 5) -> dict[str, An
     * ``live`` — additionally increments one ``Counter`` inside the
       callback.  Reported unguarded as ``live_counter_overhead_frac``:
       it prices a single attribute store against a *degenerate* empty
-      callback, the worst case a warm-path counter can ever hit.
+      callback, the worst case a warm-path counter can ever hit;
+    * ``flight`` — the plain chain with a
+      :class:`~repro.obs.flight.FlightRecorder` attached.  The recorder
+      only hooks rare branches (cancel/rearm/compact/drop/mark), none of
+      which this chain takes, so ``flight_overhead_frac`` (unguarded)
+      demonstrates the zero-cost-when-armed design point for the hot
+      event loop.
     """
+    from repro.obs import flight as flight_mod
     from repro.obs.instrument import instrument_engine
     from repro.obs.metrics import MetricsRegistry
     from repro.sim import Simulator
@@ -370,10 +377,25 @@ def bench_obs_overhead(n_events: int = 20_000, repeats: int = 5) -> dict[str, An
         list(registry.collect())
         return executed, seconds
 
-    best = {"off": 0.0, "on": 0.0, "live": 0.0}
+    def round_flight() -> tuple[int, float]:
+        sim = Simulator()
+        recorder = flight_mod.FlightRecorder(capacity=1024)
+        flight_mod.attach(sim=sim, recorder=recorder)
+        chain(sim)
+        t0 = time.perf_counter()
+        executed = sim.run()
+        return executed, time.perf_counter() - t0
+
+    best = {"off": 0.0, "on": 0.0, "live": 0.0, "flight": 0.0}
     executed = 0
+    rounds = (
+        ("off", round_off),
+        ("on", round_on),
+        ("live", round_live),
+        ("flight", round_flight),
+    )
     for _ in range(repeats):  # interleaved: drift cannot bias one variant
-        for key, round_ in (("off", round_off), ("on", round_on), ("live", round_live)):
+        for key, round_ in rounds:
             items, seconds = round_()
             executed = items
             if seconds > 0:
@@ -389,8 +411,10 @@ def bench_obs_overhead(n_events: int = 20_000, repeats: int = 5) -> dict[str, An
         "events_per_sec_off": best["off"],
         "events_per_sec_on": best["on"],
         "events_per_sec_live": best["live"],
+        "events_per_sec_flight": best["flight"],
         "overhead_frac": overhead(best["on"]),  # guarded
         "live_counter_overhead_frac": overhead(best["live"]),
+        "flight_overhead_frac": overhead(best["flight"]),
         "events": executed,
         "repeats": repeats,
     }
@@ -588,7 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         if name == "obs_overhead":
             print(f"  {name:20s} {result['overhead_frac']:>13.1%} overhead "
                   f"(on {result['events_per_sec_on']:,.0f}/s, "
-                  f"off {result['events_per_sec_off']:,.0f}/s)")
+                  f"off {result['events_per_sec_off']:,.0f}/s, "
+                  f"flight {result['flight_overhead_frac']:.1%})")
             continue
         rate_key = next(k for k in result if k.endswith("_per_sec"))
         print(f"  {name:20s} {result[rate_key]:>14,.0f} {rate_key.removesuffix('_per_sec')}/s")

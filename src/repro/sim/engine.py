@@ -87,6 +87,10 @@ class EventHandle:
             self.seq = -1
             sim = self._sim
             sim.events_cancelled += 1
+            if sim._flight is not None:
+                sim._flight.record(
+                    sim.now, "timer", "cancel", target_ps=self.target_ps
+                )
             sim._note_dead()
         self.cancelled = True
 
@@ -133,6 +137,10 @@ class Simulator:
         #: Opt-in wall-clock profiler (see :meth:`enable_profiling`).
         #: ``None`` keeps the default run loop completely untouched.
         self._profiler = None
+        #: Opt-in flight recorder (see :mod:`repro.obs.flight`).  Only
+        #: consulted on the rare paths — cancel, re-arm-earlier,
+        #: compaction — never in the run loops.
+        self._flight = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -215,6 +223,11 @@ class Simulator:
                 return
             # Earlier than the pending entry: that entry becomes dead.
             handle.seq = -1
+            if self._flight is not None:
+                self._flight.record(
+                    self.now, "timer", "rearm_earlier",
+                    old_ps=handle.time_ps, new_ps=time_ps,
+                )
             self._note_dead()
         handle.seq = self._seq
         handle.time_ps = time_ps
@@ -235,10 +248,16 @@ class Simulator:
         binds the heap list in a local, keeps seeing the same object.
         """
         heap = self._heap
+        before = len(heap)
         heap[:] = [e for e in heap if e[3] is not _HANDLE or e[2].seq == e[1]]
         heapq.heapify(heap)
         self._dead = 0
         self.compactions += 1
+        if self._flight is not None:
+            self._flight.record(
+                self.now, "engine", "compact",
+                dropped=before - len(heap), live=len(heap),
+            )
 
     # -- execution ----------------------------------------------------------
 
@@ -446,18 +465,22 @@ class Simulator:
 
     # -- profiling ----------------------------------------------------------
 
-    def enable_profiling(self, profiler: Optional[Any] = None) -> Any:
+    def enable_profiling(
+        self, profiler: Optional[Any] = None, *, max_spans: int = 0
+    ) -> Any:
         """Attach a wall-clock profiler to the run loop (opt-in).
 
         Subsequent :meth:`run` calls attribute each callback's wall time
         to its owner; read the result with :meth:`profile`.  Passing a
         :class:`~repro.obs.profile.SimProfiler` reuses it (tests inject
-        fake clocks); otherwise a fresh one is created.
+        fake clocks); otherwise a fresh one is created, retaining the
+        last ``max_spans`` individual callback spans for timeline export
+        (see :mod:`repro.obs.trace`).
         """
         if profiler is None:
             from repro.obs.profile import SimProfiler
 
-            profiler = SimProfiler()
+            profiler = SimProfiler(max_spans=max_spans)
         self._profiler = profiler
         return profiler
 

@@ -211,6 +211,90 @@ class TestDeterminism:
         assert serial == pooled
 
 
+class TestSolverTelemetry:
+    def _run(self, seed, *, telemetry, sample_every=1):
+        solver = ColumnarFluidSolver(n_bottlenecks=2, seed=seed)
+        if telemetry:
+            solver.enable_telemetry(sample_every=sample_every)
+        dist = websearch()
+        sizes = dist.sample_many(solver.rng, 32)
+        solver.add_flows(sizes, bottleneck=np.arange(32, dtype=np.int32) % 2)
+        run = solver.run_closed_loop(dist, flows_total=300)
+        return solver, run
+
+    def test_telemetry_on_is_bit_identical(self):
+        """Sampling only reads solver state: same seed, same FCTs,
+        same columns, telemetry on or off."""
+        off_solver, off = self._run(11, telemetry=False)
+        on_solver, on = self._run(11, telemetry=True)
+        assert np.array_equal(off.fcts_us, on.fcts_us)
+        assert np.array_equal(off.sizes_bytes, on.sizes_bytes)
+        for name in ColumnarFluidSolver._COLUMNS:
+            col_off = getattr(off_solver, name)[: off_solver.n_rows]
+            col_on = getattr(on_solver, name)[: on_solver.n_rows]
+            assert np.array_equal(col_off, col_on), name
+
+    def test_series_shapes_and_content(self):
+        solver, run = self._run(11, telemetry=True)
+        series = solver.telemetry.arrays()
+        n = len(solver.telemetry)
+        assert n == run.steps
+        assert series["time_ps"].shape == (n,)
+        for key in ("queue_bytes", "offered_bps", "mark", "active_flows"):
+            assert series[key].shape == (n, 2), key
+        assert series["completions"].shape == (n,)
+        assert np.all(np.diff(series["time_ps"]) > 0)
+        assert int(series["completions"].sum()) == solver.flows_completed
+        # Closed loop holds the population constant at 16 per bottleneck.
+        assert np.all(series["active_flows"] == 16)
+        assert np.all(series["queue_bytes"] >= 0)
+
+    def test_sample_every_decimates(self):
+        every, _ = self._run(11, telemetry=True)
+        sparse, _ = self._run(11, telemetry=True, sample_every=10)
+        dense = every.telemetry.arrays()
+        thin = sparse.telemetry.arrays()
+        assert len(sparse.telemetry) == -(-len(every.telemetry) // 10)
+        assert np.array_equal(thin["time_ps"], dense["time_ps"][::10])
+        assert np.array_equal(thin["queue_bytes"], dense["queue_bytes"][::10])
+
+    def test_sample_every_validation(self):
+        solver = ColumnarFluidSolver()
+        with pytest.raises(ConfigError):
+            solver.enable_telemetry(sample_every=0)
+
+    def test_disable_telemetry_stops_sampling(self):
+        solver = ColumnarFluidSolver(n_bottlenecks=1, seed=0)
+        solver.enable_telemetry()
+        solver.add_flows([10_000] * 4, kernel="ideal")
+        solver.step(3)
+        assert len(solver.telemetry) == 3
+        solver.disable_telemetry()
+        assert solver.telemetry is None
+        solver.step(3)  # no crash, nothing sampled
+
+    def test_save_round_trip(self, tmp_path):
+        solver, _ = self._run(11, telemetry=True)
+        path = tmp_path / "series.npz"
+        solver.telemetry.save(path)
+        loaded = np.load(path)
+        series = solver.telemetry.arrays()
+        for key in series:
+            assert np.array_equal(loaded[key], series[key]), key
+
+    def test_metrics_bindings(self):
+        from repro.obs import MetricsRegistry, instrument_fluid_solver
+
+        solver, run = self._run(11, telemetry=False)
+        registry = MetricsRegistry()
+        instrument_fluid_solver(solver, registry)
+        samples = {s.name: s.value for s in registry.collect()}
+        assert samples["repro_fluid_steps_total"] == run.steps
+        assert samples["repro_fluid_flow_steps_total"] == run.flow_steps
+        assert samples["repro_fluid_flows_completed_total"] == solver.flows_completed
+        assert samples["repro_fluid_active_flows"] == solver.n_active
+
+
 class TestPopulation:
     def test_add_flows_validation(self):
         solver = ColumnarFluidSolver(n_bottlenecks=2)
