@@ -17,6 +17,11 @@ Gives operators the control-plane workflow without writing Python:
 * ``repro trace``          — merge a campaign results directory
   (``campaign.json`` journal + flight-recorder dumps) into one
   Chrome/Perfetto trace-event JSON timeline;
+* ``repro serve``          — the persistent campaign daemon: an
+  HTTP/JSON job queue over one warm worker pool with a config-hash
+  result cache and a Prometheus ``/metrics`` endpoint;
+* ``repro submit``         — send a campaign spec (JSON file) to a
+  running ``repro serve``, optionally waiting with live ``[hb]`` lines;
 * ``repro amplification``  — the Section 3.3 arithmetic for an MTU;
 * ``repro capabilities``   — the Table 1 / Table 2 matrices;
 * ``repro resources``      — Table 4 estimates for a CC algorithm;
@@ -550,6 +555,108 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent campaign daemon until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_dir=args.results_dir,
+        max_queued=args.max_queued,
+        task_timeout_s=args.task_timeout,
+    )
+
+    async def run() -> None:
+        start = asyncio.ensure_future(server.serve_forever())
+        # Graceful stop on SIGTERM too (and SIGINT even when a parent
+        # shell started us with it ignored, as CI background jobs do).
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, start.cancel)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without POSIX signal support
+        # serve_forever binds before blocking; give the banner real facts.
+        while server._server is None and not start.done():
+            await asyncio.sleep(0.01)
+        print(
+            f"repro serve on http://{server.host}:{server.port} "
+            f"({server.queue.runner.workers} warm worker(s), "
+            f"cache {args.cache_dir})",
+            flush=True,
+        )
+        print("endpoints: POST /jobs, GET /jobs[/<id>[/events]], "
+              "/metrics, /healthz  (Ctrl-C to stop)", flush=True)
+        try:
+            await start
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    print("shutting down (draining worker pool) ...", flush=True)
+    server.queue.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Send one campaign spec to a running daemon."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    spec = json.loads(Path(args.spec).read_text())
+    client = ServeClient(args.host, args.port)
+
+    def render(row: dict) -> None:
+        state = "done" if row["final"] else f"{row['progress'] * 100:3.0f}%"
+        print(
+            f"[hb] task {row['task_id']} {state}  "
+            f"sim {row['sim_now_ps'] / MS:.2f}/{row['sim_until_ps'] / MS:.2f} ms  "
+            f"{row['events_executed']:,} events  pid {row['pid']}",
+            flush=True,
+        )
+
+    try:
+        job = client.submit(spec)
+    except ServeError as exc:
+        raise SystemExit(f"submit failed: {exc}")
+    cached = " (cached)" if job.get("cached") else ""
+    print(f"{job['job_id']} {job['state']}{cached}: {job['description']}")
+    if not args.wait or job["state"] in ("done", "failed"):
+        document = job
+    else:
+        try:
+            document = client.wait(
+                job["job_id"],
+                timeout_s=args.timeout,
+                on_heartbeat=None if args.no_progress else render,
+            )
+        except ServeError as exc:
+            raise SystemExit(f"job failed: {exc}")
+    if document["state"] == "done":
+        result = document.get("result") or {}
+        stats = result.get("stats", {})
+        print(
+            f"{document['job_id']} done: {len(result.get('points', []))} point(s), "
+            f"{stats.get('campaign_wall_s', 0.0):.2f} s wall, "
+            f"{stats.get('events_total', 0):,} events"
+            + (" [served from cache]" if document.get("cached") else "")
+        )
+        if args.json is not None:
+            Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _start_closed_loop(args: argparse.Namespace, tester) -> None:
     """Closed-loop generation from a named traffic model (Section 7.5)."""
     import numpy as np
@@ -762,6 +869,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full metrics snapshot (.prom/.txt/JSON)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent campaign daemon: HTTP job queue over a warm pool "
+             "with a config-hash result cache",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8723)
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="warm worker-pool width (default: all CPUs)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result-cache directory keyed by canonical config hash",
+    )
+    p_serve.add_argument(
+        "--results-dir", default=None,
+        help="arm campaign journals + flight-recorder post-mortems here",
+    )
+    p_serve.add_argument(
+        "--max-queued", type=int, default=64,
+        help="campaigns allowed to wait in the queue before 503 (default 64)",
+    )
+    p_serve.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-task deadline in seconds (default: none)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="send a campaign spec to a running `repro serve`"
+    )
+    p_submit.add_argument("spec", help="campaign spec JSON file (see docs/SERVING.md)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8723)
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="long-poll until the job finishes, rendering [hb] progress lines",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up waiting after this many seconds (default: forever)",
+    )
+    p_submit.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress live [hb] heartbeat lines while waiting",
+    )
+    p_submit.add_argument(
+        "--json", default=None, help="write the final job document here"
+    )
+
     p_trace = sub.add_parser(
         "trace",
         help="render a campaign results dir as Chrome/Perfetto trace JSON",
@@ -788,6 +945,8 @@ HANDLERS = {
     "fluid": cmd_fluid,
     "report": cmd_report,
     "trace": cmd_trace,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

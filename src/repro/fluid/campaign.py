@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
@@ -223,6 +223,7 @@ def fluid_fct_campaign(
     runner: Optional[CampaignRunner] = None,
     timeseries_dir: Optional[Union[str, Path]] = None,
     timeseries_sample_every: int = 1,
+    on_heartbeat: Optional[Any] = None,
 ) -> tuple[list[FluidCampaignPoint], CampaignResult]:
     """Run the profile × load grid, sharded across ``workers`` processes.
 
@@ -263,7 +264,7 @@ def fluid_fct_campaign(
     own_runner = runner is None
     active = runner if runner is not None else CampaignRunner(workers=workers)
     try:
-        campaign = active.run(run_fluid_point, tasks)
+        campaign = active.run(run_fluid_point, tasks, on_heartbeat=on_heartbeat)
     finally:
         if own_runner:
             active.close()

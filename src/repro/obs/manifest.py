@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import platform
 import subprocess
@@ -19,12 +20,102 @@ import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.errors import ConfigError
 
-def config_hash(config: dict[str, Any]) -> str:
-    """SHA-256 of the canonical JSON form of ``config`` (sorted keys, no
-    whitespace), so semantically equal configs hash equal."""
-    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(canonical.encode()).hexdigest()
+#: Digest version stamped into manifests and used by the ``repro serve``
+#: result cache.  Version 2 is the strict type-tagged canonicalizer;
+#: version 1 is the legacy ``json.dumps(..., default=str)`` digest kept
+#: for verifying pre-existing manifests and BENCH provenance.
+CONFIG_HASH_VERSION = 2
+
+#: Domain-separation prefix for the v2 digest, so a v2 hash can never
+#: collide with a v1 hash of some crafted string.
+_V2_PREFIX = b"repro-config-v2\x00"
+
+
+def _canonical_into(obj: Any, out: list[bytes], path: str) -> None:
+    """Append the type-tagged canonical encoding of ``obj`` to ``out``.
+
+    Every scalar carries a type tag (``i``/``f``/``s``/``b``/``n``) and
+    containers tag list vs tuple vs dict, so values that merely *print*
+    the same (``(1, 2)`` vs ``[1, 2]``, ``1`` vs ``True`` vs ``"1"``)
+    hash differently.  Anything outside the JSON-safe vocabulary —
+    non-finite floats, non-string dict keys, arbitrary objects — raises
+    :class:`ConfigError` naming the offending path instead of silently
+    hashing a ``repr`` (which embeds memory addresses and would make the
+    digest non-deterministic).
+    """
+    # bool is an int subclass: test it first so True/False get their own tag.
+    if obj is None:
+        out.append(b"n;")
+    elif isinstance(obj, bool):
+        out.append(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ConfigError(
+                f"config value at {path} is non-finite ({obj!r}); "
+                "NaN/Inf cannot be hashed canonically"
+            )
+        out.append(b"f%s;" % repr(obj).encode("ascii"))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(b"s%d:" % len(data))
+        out.append(data)
+        out.append(b";")
+    elif isinstance(obj, (list, tuple)):
+        out.append((b"l" if isinstance(obj, list) else b"t") + b"%d[" % len(obj))
+        for index, item in enumerate(obj):
+            _canonical_into(item, out, f"{path}[{index}]")
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise ConfigError(
+                    f"config key {key!r} at {path} is {type(key).__name__}; "
+                    "canonical configs require string keys"
+                )
+        out.append(b"d%d{" % len(obj))
+        for key in sorted(obj):
+            _canonical_into(key, out, path)
+            _canonical_into(obj[key], out, f"{path}.{key}")
+        out.append(b"}")
+    else:
+        raise ConfigError(
+            f"config value at {path} has type {type(obj).__name__}, which "
+            "has no canonical form; convert it to JSON-safe scalars/"
+            "lists/dicts before hashing"
+        )
+
+
+def canonical_config_bytes(config: dict[str, Any]) -> bytes:
+    """The version-2 canonical byte encoding of ``config`` (the exact
+    bytes the digest covers) — exposed for debugging cache misses."""
+    out: list[bytes] = [_V2_PREFIX]
+    _canonical_into(config, out, "$")
+    return b"".join(out)
+
+
+def config_hash(config: dict[str, Any], *, version: int = CONFIG_HASH_VERSION) -> str:
+    """SHA-256 of the canonical form of ``config``.
+
+    ``version=2`` (the default) uses a strict type-tagged canonicalizer:
+    key order never matters, tuples and lists hash differently, and
+    non-finite floats / non-string keys / arbitrary objects raise
+    :class:`ConfigError` rather than producing an unstable digest.
+    ``version=1`` reproduces the legacy ``json.dumps(..., default=str)``
+    digest so manifests and BENCH provenance written before the change
+    still verify.
+    """
+    if version == 1:
+        canonical = json.dumps(
+            config, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+    if version == 2:
+        return hashlib.sha256(canonical_config_bytes(config)).hexdigest()
+    raise ConfigError(f"unknown config_hash version {version!r} (know 1 and 2)")
 
 
 def git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -74,6 +165,7 @@ def build_manifest(
         "created_unix": time.time(),
         "config": config,
         "config_hash": config_hash(config),
+        "config_hash_version": CONFIG_HASH_VERSION,
         "seed": seed,
         "environment": environment(),
     }

@@ -182,6 +182,14 @@ def _run_chunk(fn: Callable[..., Any], specs: list[_TaskSpec]) -> list[_RawOutco
     return [_execute_one(fn, spec) for spec in specs]
 
 
+def _hold_worker(delay_s: float) -> int:
+    """Warm-up task for :meth:`CampaignRunner.start`: occupy one worker
+    slot briefly so the executor spawns (and preloads) every process
+    before the first real campaign arrives."""
+    time.sleep(delay_s)
+    return os.getpid()
+
+
 # -- result model --------------------------------------------------------------
 
 
@@ -328,9 +336,10 @@ class CampaignRunner:
         #: flight-recorder ring spooled to ``<dir>/flight-task*.json``
         #: (kept on failure, removed on success) and :meth:`run` writes a
         #: ``campaign.json`` journal — the inputs of ``repro trace``.
+        #: Created on first use, never at construction: merely building a
+        #: runner (e.g. a daemon validating a request) must not litter
+        #: directories.
         self.results_dir = Path(results_dir) if results_dir is not None else None
-        if self.results_dir is not None:
-            self.results_dir.mkdir(parents=True, exist_ok=True)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._stragglers = False
         #: Heartbeat transport: a manager-queue proxy handed to workers
@@ -349,6 +358,38 @@ class CampaignRunner:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    @property
+    def started(self) -> bool:
+        """Whether a live worker pool is currently attached."""
+        return self._executor is not None
+
+    def start(self, *, warm: bool = True, timeout_s: float = 60.0) -> "CampaignRunner":
+        """Bring the worker pool (and heartbeat transport) up *now*.
+
+        A cold :meth:`run` pays pool construction, worker spawn, and the
+        preload imports on its own wall clock — the diagnosed
+        ``parallel_speedup < 1`` regime on small runners.  A long-lived
+        service (``repro serve``) calls ``start()`` once instead, so
+        every subsequent campaign lands on hot workers.  With ``warm``
+        (the default) one brief hold task per worker slot forces every
+        process to exist and finish its preload imports before this
+        returns.  The heartbeat transport is provisioned here too, so a
+        later ``run(on_heartbeat=...)`` never has to rebuild the pool.
+
+        Idempotent; a no-op for ``workers <= 1`` (the inline path has
+        nothing to warm).
+        """
+        if self.workers <= 1:
+            return self
+        self._ensure_heartbeat_queue()
+        executor = self._get_executor()
+        if warm:
+            holds = [
+                executor.submit(_hold_worker, 0.02) for _ in range(self.workers)
+            ]
+            wait(holds, timeout=timeout_s)
+        return self
+
     def close(self) -> None:
         """Shut the pool down (terminating any abandoned stragglers)."""
         self._teardown_executor(force=self._stragglers)
@@ -357,9 +398,16 @@ class CampaignRunner:
             self._manager = None
             self._hb_queue = None
 
+    def _ensure_results_dir(self) -> None:
+        """Create the artifact directory lazily, at the first point
+        something will actually be written into it."""
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+
     def _autodump_config(self) -> Optional[dict[str, Any]]:
         if self.results_dir is None:
             return None
+        self._ensure_results_dir()  # workers spool flight rings into it
         return {"dir": str(self.results_dir)}
 
     def _get_executor(self) -> ProcessPoolExecutor:
@@ -474,6 +522,7 @@ class CampaignRunner:
         if not tasks:
             raise CampaignError("a campaign needs at least one task")
         specs = self._normalize(tasks, seed, seed_kwarg)
+        self._ensure_results_dir()  # journal + flight spools land here
         created_unix = time.time()
         beats_log: list[dict[str, Any]] = []
         if self.results_dir is not None:
@@ -670,6 +719,11 @@ class CampaignRunner:
                     poll = min(poll, max(min(wakeups) - now, 0.005))
                 if not inflight:
                     if retry_queue:
+                        # Bugfix: beats queued by just-failed workers must
+                        # not sit undelivered (freezing `repro serve`
+                        # progress) for the whole retry-backoff window.
+                        if on_heartbeat is not None:
+                            self._drain_heartbeats(on_heartbeat)
                         time.sleep(poll)
                         continue
                     raise CampaignError(

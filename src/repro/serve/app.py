@@ -1,0 +1,416 @@
+"""``repro serve`` — the persistent campaign daemon.
+
+A small hand-rolled HTTP/1.1 JSON service on stdlib ``asyncio`` streams
+(no ``http.server``, no third-party framework): requests parse in the
+event loop, campaign execution happens on the :class:`JobQueue`
+dispatcher thread over ONE warm :class:`~repro.parallel.CampaignRunner`
+pool, and the two sides meet through thread-safe waits bridged with
+``asyncio.to_thread``.
+
+API (all JSON unless noted):
+
+===========================  ==================================================
+``POST /jobs``               submit a campaign spec; 200 with the job document
+                             (``"cached": true`` + full result on a cache hit),
+                             400 on a malformed spec, 503 when the queue is full
+``GET /jobs``                all jobs, submission order
+``GET /jobs/<id>``           one job; ``?wait=1[&timeout_s=N][&cursor=N]``
+                             long-polls until new heartbeats or completion
+``GET /jobs/<id>/events``    Server-Sent Events: one ``heartbeat`` event per
+                             campaign heartbeat, a final ``done`` event with
+                             the job document
+``GET /metrics``             Prometheus text: ``repro_serve_*`` counters/gauges
+``GET /healthz``             liveness + pool/cache facts
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigError, ReproError
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import CampaignRunner
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.spec import parse_spec
+
+#: Reject request bodies past this size: campaign specs are small; a
+#: huge body is a mistake or abuse, not a campaign.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Hard cap on one long-poll / SSE wait step, so a vanished client can
+#: hold a connection open for at most this long.
+MAX_WAIT_S = 120.0
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, indent=1, default=str) + "\n").encode("utf-8")
+
+
+class ReproServer:
+    """The daemon: one warm campaign pool, a job queue, a result cache,
+    and the HTTP surface that exposes them.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is in
+    :attr:`port` once the server is running.  Use either
+    :meth:`serve_forever` (blocking, the CLI path) or
+    :meth:`start_background` / :meth:`close` (embedding and tests).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8723,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Union[str, Path] = ".repro-cache",
+        results_dir: Optional[Union[str, Path]] = None,
+        max_queued: int = 64,
+        task_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.started_unix = time.time()
+        self.registry = MetricsRegistry()
+        self.cache = ResultCache(cache_dir)
+        runner = CampaignRunner(
+            workers=workers,
+            results_dir=results_dir,
+            task_timeout_s=task_timeout_s,
+        )
+        self.queue = JobQueue(
+            runner, self.cache, max_queued=max_queued, on_event=self._on_job_event
+        )
+        self._install_metrics()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._closed = False
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _install_metrics(self) -> None:
+        registry = self.registry
+        self._jobs_accepted = registry.counter("repro_serve_jobs_accepted_total")
+        self._jobs_completed = registry.counter("repro_serve_jobs_completed_total")
+        self._jobs_failed = registry.counter("repro_serve_jobs_failed_total")
+        self._cache_hits = registry.counter("repro_serve_cache_hits_total")
+        self._cache_misses = registry.counter("repro_serve_cache_misses_total")
+        self._jobs_coalesced = registry.counter("repro_serve_jobs_coalesced_total")
+        self._requests = registry.counter("repro_serve_http_requests_total")
+        registry.bind(
+            "repro_serve_queue_depth", self.queue.queue_depth, kind="gauge"
+        )
+        registry.bind(
+            "repro_serve_jobs_running", self.queue.running_count, kind="gauge"
+        )
+        registry.bind(
+            "repro_serve_uptime_seconds",
+            lambda: time.time() - self.started_unix,
+            kind="gauge",
+        )
+        registry.bind(
+            "repro_serve_cache_entries", lambda: len(self.cache), kind="gauge"
+        )
+
+    def _on_job_event(self, event: str, job: Job) -> None:
+        if event == "accepted":
+            self._jobs_accepted.inc()
+            self._cache_misses.inc()
+        elif event == "cache_hit":
+            self._jobs_accepted.inc()
+            self._cache_hits.inc()
+        elif event == "coalesced":
+            self._jobs_coalesced.inc()
+        elif event == "finished":
+            if job.state == "failed":
+                self._jobs_failed.inc()
+            else:
+                self._jobs_completed.inc()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def _start_async(self) -> None:
+        self.queue.start()
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ready.set()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` foreground path)."""
+        await self._start_async()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the server on a daemon thread; returns ``(host, port)``
+        once the socket is bound."""
+
+        def runner() -> None:
+            asyncio.run(self._run_until_closed())
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ReproError("repro serve failed to bind within 30 s")
+        return self.host, self.port
+
+    async def _run_until_closed(self) -> None:
+        await self._start_async()
+        assert self._server is not None
+        async with self._server:
+            while not self._closed:
+                await asyncio.sleep(0.05)
+
+    def close(self) -> None:
+        """Stop accepting connections and shut the pool down."""
+        self._closed = True
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.queue.close()
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            response = await self._handle_request(reader, writer)
+            if response is not None:
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # the daemon must survive any request
+            try:
+                writer.write(
+                    _response_bytes(500, _json_bytes({"error": str(exc)}))
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return _response_bytes(400, _json_bytes({"error": "malformed request"}))
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return _response_bytes(413, _json_bytes({"error": "body too large"}))
+        if length:
+            body = await reader.readexactly(length)
+        self._requests.inc()
+        url = urlsplit(target)
+        query = {
+            key: values[-1] for key, values in parse_qs(url.query).items()
+        }
+        try:
+            return await self._route(method, url.path, query, body, writer)
+        except _HttpError as exc:
+            return _response_bytes(
+                exc.status, _json_bytes({"error": str(exc)})
+            )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bytes]:
+        if path == "/healthz" and method == "GET":
+            return _response_bytes(200, _json_bytes(self._health()))
+        if path == "/metrics" and method == "GET":
+            return _response_bytes(
+                200,
+                to_prometheus(self.registry).encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path == "/jobs" and method == "GET":
+            return _response_bytes(200, _json_bytes({"jobs": self.queue.list_jobs()}))
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                job_id = rest[: -len("/events")]
+                if method != "GET":
+                    raise _HttpError(405, "events endpoint is GET-only")
+                await self._stream_events(job_id, writer)
+                return None
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on job resources")
+            return await self._job_status(rest, query)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_s": time.time() - self.started_unix,
+            "workers": self.queue.runner.workers,
+            "pool_started": self.queue.runner.started,
+            "queue_depth": self.queue.queue_depth(),
+            "jobs": len(self.queue.jobs),
+            "cache": self.cache.stats(),
+        }
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        try:
+            spec = parse_spec(payload)
+        except ConfigError as exc:
+            raise _HttpError(400, str(exc))
+        try:
+            job = self.queue.submit(spec)
+        except ReproError as exc:
+            raise _HttpError(503, str(exc))
+        return _response_bytes(200, _json_bytes(self._job_document(job)))
+
+    def _job_document(self, job: Job) -> dict[str, Any]:
+        document = job.summary()
+        if job.state == "done":
+            document["result"] = job.result
+        return document
+
+    async def _job_status(self, job_id: str, query: dict[str, str]) -> bytes:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        if query.get("wait") in ("1", "true", "yes"):
+            timeout_s = min(float(query.get("timeout_s", "30")), MAX_WAIT_S)
+            requested = int(query.get("cursor", "0"))
+            job, cursor = await asyncio.to_thread(
+                self.queue.wait, job_id, beat_cursor=requested, timeout_s=timeout_s
+            )
+            if job is None:  # pragma: no cover - job vanished mid-wait
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            document = self._job_document(job)
+            document["cursor"] = cursor
+            # Only beats the client has not seen, capped so a long-idle
+            # client cannot request an unbounded payload.
+            document["heartbeats"] = job.beats[max(requested, cursor - 32):cursor]
+            return _response_bytes(200, _json_bytes(document))
+        return _response_bytes(200, _json_bytes(self._job_document(job)))
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """Server-Sent Events: live ``[hb]`` heartbeats, then ``done``."""
+        job = self.queue.get(job_id)
+        if job is None:
+            writer.write(
+                _response_bytes(404, _json_bytes({"error": f"unknown job {job_id!r}"}))
+            )
+            await writer.drain()
+            return
+        writer.write(
+            "\r\n".join(
+                [
+                    "HTTP/1.1 200 OK",
+                    "Content-Type: text/event-stream",
+                    "Cache-Control: no-cache",
+                    "Connection: close",
+                ]
+            ).encode("ascii")
+            + b"\r\n\r\n"
+        )
+        await writer.drain()
+        cursor = 0
+        while True:
+            job, new_cursor = await asyncio.to_thread(
+                self.queue.wait, job_id, beat_cursor=cursor, timeout_s=15.0
+            )
+            if job is None:
+                return
+            for row in job.beats[cursor:new_cursor]:
+                writer.write(
+                    b"event: heartbeat\ndata: "
+                    + json.dumps(row, default=str).encode("utf-8")
+                    + b"\n\n"
+                )
+            cursor = new_cursor
+            if job.finished:
+                writer.write(
+                    b"event: done\ndata: "
+                    + json.dumps(self._job_document(job), default=str).encode("utf-8")
+                    + b"\n\n"
+                )
+                await writer.drain()
+                return
+            await writer.drain()

@@ -1,0 +1,109 @@
+"""The config-hash result cache behind ``repro serve``.
+
+A results-directory store (one JSON document per campaign point, the
+sdn-loadbalance MetricsCollector layout): entry ``<hash>`` lives at
+``<cache_dir>/<hash[:2]>/<hash>.json`` and holds the campaign's result
+payload wrapped in a run manifest, so a cache hit returns exactly what
+the original run returned — provenance included.  Writes are atomic
+(temp file + ``os.replace``) so a crashed daemon never leaves a torn
+entry, and reads treat unparseable files as misses (the entry is simply
+recomputed).
+
+Keys come from :func:`repro.obs.manifest.config_hash` version 2 — the
+strict canonicalizer — which is what makes "same campaign, any client,
+any key order" dedup sound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.manifest import CONFIG_HASH_VERSION, build_manifest
+
+#: Cache entry schema version; bump on incompatible payload changes so a
+#: newer daemon never serves an older daemon's entries as fresh.
+ENTRY_SCHEMA = 1
+
+
+class ResultCache:
+    """Directory-backed result store keyed by canonical config hash."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The cached entry for ``key``, or ``None``.  Counts hit/miss."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            with self._lock:
+                self.misses += 1
+            return None
+        if entry.get("schema") != ENTRY_SCHEMA or entry.get("config_hash") != key:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        config: dict[str, Any],
+        result: dict[str, Any],
+        *,
+        seed: Optional[int] = None,
+    ) -> Path:
+        """Store ``result`` under ``key``, wrapped in a run manifest.
+
+        Atomic: the entry appears complete or not at all.
+        """
+        manifest = build_manifest(config, seed=seed, extra={"result": result})
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "config_hash": key,
+            "config_hash_version": CONFIG_HASH_VERSION,
+            "stored_unix": time.time(),
+            "manifest": manifest,
+            "result": result,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1, default=str)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

@@ -1,0 +1,276 @@
+"""Campaign specs: the JSON vocabulary ``repro serve`` accepts.
+
+A *spec* is the wire-format description of one campaign — a CC
+parameter sweep or a fluid FCT grid — with every knob spelled out.
+Parsing normalizes it (defaults applied, types checked, unknown keys
+rejected) into a frozen :class:`CampaignSpec`, whose canonical config
+dict feeds :func:`repro.obs.manifest.config_hash`; two requests that
+mean the same campaign therefore hash — and cache — identically,
+regardless of key order or which defaults the client spelled out.
+
+Spec kinds:
+
+``sweep``
+    ``{"kind": "sweep", "algorithm": "dcqcn", "grid": [{...}, ...],
+    "n_senders": 3, "duration_ms": 6.0, "ecn_threshold_bytes": 84000,
+    "seeds": null, "seed": 0}``
+
+``fluid``
+    ``{"kind": "fluid", "algorithms": ["dctcp"], "workload":
+    "websearch", "flows_per_port_levels": [8], "flows_total": 50000,
+    "n_ports": 12, "backend": "closed_form", "seed": 0}``
+
+Everything except ``kind`` (and ``algorithm``/``algorithms``) is
+optional and defaulted server-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigError
+from repro.obs.manifest import config_hash
+from repro.units import MS
+
+#: Fluid profiles the serve layer can instantiate by name.
+FLUID_PROFILES = ("dctcp", "dcqcn", "ideal")
+
+_SWEEP_DEFAULTS: dict[str, Any] = {
+    "grid": [{}],
+    "n_senders": 3,
+    "duration_ms": 6.0,
+    "ecn_threshold_bytes": 84_000,
+    "seeds": None,
+    "seed": 0,
+}
+
+_FLUID_DEFAULTS: dict[str, Any] = {
+    "workload": "websearch",
+    "flows_per_port_levels": [8],
+    "flows_total": 50_000,
+    "n_ports": 12,
+    "backend": "closed_form",
+    "seed": 0,
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _as_int(value: Any, field: str, *, minimum: Optional[int] = None) -> int:
+    # bool is an int subclass — a spec saying `"seed": true` is a mistake.
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"spec field {field!r} must be an integer, got {value!r}",
+    )
+    if minimum is not None:
+        _require(value >= minimum, f"spec field {field!r} must be >= {minimum}")
+    return int(value)
+
+
+def _as_number(value: Any, field: str) -> float:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"spec field {field!r} must be a number, got {value!r}",
+    )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated, normalized campaign request.
+
+    ``config`` is the canonical parameterization (defaults applied,
+    JSON-safe); ``config_hash`` keys the daemon's result cache and the
+    run manifest.  ``n_tasks`` sizes progress reporting.
+    """
+
+    kind: str
+    config: dict[str, Any]
+    n_tasks: int
+
+    @property
+    def config_hash(self) -> str:
+        return config_hash(self.config)
+
+    def describe(self) -> str:
+        if self.kind == "sweep":
+            return (
+                f"sweep {self.config['algorithm']} x{len(self.config['grid'])} "
+                f"point(s), {self.config['duration_ms']} ms"
+            )
+        return (
+            f"fluid {','.join(self.config['algorithms'])} "
+            f"x{len(self.config['flows_per_port_levels'])} level(s), "
+            f"{self.config['flows_total']} flows ({self.config['backend']})"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, runner: Any, on_heartbeat: Optional[Callable] = None) -> dict[str, Any]:
+        """Execute this campaign on ``runner`` (a started
+        :class:`~repro.parallel.CampaignRunner`) and return the
+        JSON-safe result payload the daemon caches and serves."""
+        import dataclasses
+
+        if self.kind == "sweep":
+            from repro.core.sweep import sweep_campaign
+
+            c = self.config
+            points, campaign = sweep_campaign(
+                c["algorithm"],
+                [dict(params) for params in c["grid"]],
+                n_senders=c["n_senders"],
+                duration_ps=int(c["duration_ms"] * MS),
+                ecn_threshold_bytes=c["ecn_threshold_bytes"],
+                seeds=c["seeds"],
+                seed=c["seed"],
+                runner=runner,
+                on_heartbeat=on_heartbeat,
+            )
+        else:
+            from repro.fluid import (
+                dcqcn_profile,
+                dctcp_profile,
+                fluid_fct_campaign,
+                ideal_profile,
+            )
+            from repro.workload import hadoop, websearch
+
+            factories = {
+                "dctcp": dctcp_profile,
+                "dcqcn": dcqcn_profile,
+                "ideal": ideal_profile,
+            }
+            c = self.config
+            distribution = websearch() if c["workload"] == "websearch" else hadoop()
+            points, campaign = fluid_fct_campaign(
+                [factories[name]() for name in c["algorithms"]],
+                distribution,
+                workload=c["workload"],
+                flows_per_port_levels=c["flows_per_port_levels"],
+                flows_total=c["flows_total"],
+                n_ports=c["n_ports"],
+                seed=c["seed"],
+                backend=c["backend"],
+                runner=runner,
+                on_heartbeat=on_heartbeat,
+            )
+        return {
+            "kind": self.kind,
+            "points": [dataclasses.asdict(point) for point in points],
+            "stats": campaign.stats(),
+        }
+
+
+def _parse_sweep(payload: dict[str, Any]) -> CampaignSpec:
+    config: dict[str, Any] = {"kind": "sweep"}
+    _require("algorithm" in payload, "sweep spec requires 'algorithm'")
+    algorithm = payload["algorithm"]
+    _require(
+        isinstance(algorithm, str) and bool(algorithm),
+        f"'algorithm' must be a non-empty string, got {algorithm!r}",
+    )
+    config["algorithm"] = algorithm
+
+    merged = {**_SWEEP_DEFAULTS, **{k: v for k, v in payload.items()
+                                    if k not in ("kind", "algorithm")}}
+    grid = merged["grid"]
+    _require(
+        isinstance(grid, list) and len(grid) >= 1,
+        "'grid' must be a non-empty list of parameter dicts",
+    )
+    for entry in grid:
+        _require(isinstance(entry, dict), f"grid entries must be dicts, got {entry!r}")
+        for key, value in entry.items():
+            _require(isinstance(key, str), f"grid parameter names must be strings")
+            _require(
+                isinstance(value, (int, float, str)) and not isinstance(value, bool),
+                f"grid parameter {key!r} must be int/float/str, got {value!r}",
+            )
+    config["grid"] = [dict(sorted(entry.items())) for entry in grid]
+    config["n_senders"] = _as_int(merged["n_senders"], "n_senders", minimum=2)
+    duration_ms = _as_number(merged["duration_ms"], "duration_ms")
+    _require(duration_ms > 0, "'duration_ms' must be positive")
+    config["duration_ms"] = duration_ms
+    config["ecn_threshold_bytes"] = _as_int(
+        merged["ecn_threshold_bytes"], "ecn_threshold_bytes", minimum=1
+    )
+    seeds = merged["seeds"]
+    if seeds is not None:
+        seeds = _as_int(seeds, "seeds", minimum=1)
+    config["seeds"] = seeds
+    config["seed"] = _as_int(merged["seed"], "seed", minimum=0)
+    n_tasks = len(grid) * (seeds or 1)
+    return CampaignSpec(kind="sweep", config=config, n_tasks=n_tasks)
+
+
+def _parse_fluid(payload: dict[str, Any]) -> CampaignSpec:
+    config: dict[str, Any] = {"kind": "fluid"}
+    _require("algorithms" in payload, "fluid spec requires 'algorithms'")
+    algorithms = payload["algorithms"]
+    if isinstance(algorithms, str):
+        algorithms = [name.strip() for name in algorithms.split(",") if name.strip()]
+    _require(
+        isinstance(algorithms, list) and len(algorithms) >= 1,
+        "'algorithms' must be a non-empty list of fluid profile names",
+    )
+    unknown = sorted(set(algorithms) - set(FLUID_PROFILES))
+    _require(not unknown, f"unknown fluid profile(s) {unknown}; "
+                          f"choose from {sorted(FLUID_PROFILES)}")
+    config["algorithms"] = list(algorithms)
+
+    merged = {**_FLUID_DEFAULTS, **{k: v for k, v in payload.items()
+                                    if k not in ("kind", "algorithms")}}
+    _require(
+        merged["workload"] in ("websearch", "hadoop"),
+        f"'workload' must be websearch or hadoop, got {merged['workload']!r}",
+    )
+    config["workload"] = merged["workload"]
+    levels = merged["flows_per_port_levels"]
+    _require(
+        isinstance(levels, list) and len(levels) >= 1,
+        "'flows_per_port_levels' must be a non-empty list of ints",
+    )
+    config["flows_per_port_levels"] = [
+        _as_int(level, "flows_per_port_levels", minimum=1) for level in levels
+    ]
+    config["flows_total"] = _as_int(merged["flows_total"], "flows_total", minimum=1)
+    config["n_ports"] = _as_int(merged["n_ports"], "n_ports", minimum=1)
+    _require(
+        merged["backend"] in ("closed_form", "columnar"),
+        f"'backend' must be closed_form or columnar, got {merged['backend']!r}",
+    )
+    config["backend"] = merged["backend"]
+    config["seed"] = _as_int(merged["seed"], "seed", minimum=0)
+    n_tasks = len(algorithms) * len(levels)
+    return CampaignSpec(kind="fluid", config=config, n_tasks=n_tasks)
+
+
+_PARSERS = {"sweep": _parse_sweep, "fluid": _parse_fluid}
+
+_KNOWN_FIELDS = {
+    "sweep": {"kind", "algorithm"} | set(_SWEEP_DEFAULTS),
+    "fluid": {"kind", "algorithms"} | set(_FLUID_DEFAULTS),
+}
+
+
+def parse_spec(payload: Any) -> CampaignSpec:
+    """Validate and normalize one JSON campaign spec.
+
+    Raises :class:`~repro.errors.ConfigError` with an actionable message
+    on any shape problem — the daemon maps these onto HTTP 400s, so the
+    message *is* the API's error surface.
+    """
+    _require(isinstance(payload, dict), "campaign spec must be a JSON object")
+    kind = payload.get("kind")
+    _require(
+        kind in _PARSERS,
+        f"spec 'kind' must be one of {sorted(_PARSERS)}, got {kind!r}",
+    )
+    unknown = sorted(set(payload) - _KNOWN_FIELDS[kind])
+    _require(not unknown, f"unknown spec field(s) {unknown} for kind {kind!r}")
+    return _PARSERS[kind](payload)

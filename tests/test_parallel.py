@@ -1,6 +1,7 @@
 """The sharded campaign runner: determinism, ordering, bounded failure."""
 
 import os
+import threading
 import time
 
 import pytest
@@ -10,6 +11,7 @@ from repro.core.sweep import cc_parameter_sweep, steady_state_flow_rates, sweep_
 from repro.errors import CampaignError
 from repro.fluid import dcqcn_profile, dctcp_profile, fluid_fct_campaign
 from repro.measure.throughput import ThroughputSample
+from repro.obs.heartbeat import Heartbeat
 from repro.parallel import CampaignRunner, derive_task_seed
 from repro.units import GBPS, MS
 from repro.workload import websearch
@@ -41,6 +43,16 @@ def raise_on_zero(x):
 def sleep_on_one(x):
     if x == 1:
         time.sleep(3.0)
+    return x
+
+
+def crash_first_attempt(x, marker_dir):
+    """Dies hard on its first run (leaving a marker), succeeds on retry."""
+    marker = os.path.join(marker_dir, f"task-{x}.attempted")
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("1")
+        os._exit(5)
     return x
 
 
@@ -103,6 +115,110 @@ class TestRunnerBasics:
             CampaignRunner(task_timeout_s=0)
         with pytest.raises(CampaignError):
             CampaignRunner(max_retries=-1)
+
+
+class TestWarmPool:
+    def test_started_runner_serves_repeat_campaigns(self):
+        """The `repro serve` contract: one start(), many run()s, all
+        bit-identical to the inline path."""
+        tasks = [(i,) for i in range(8)]
+        with CampaignRunner(workers=1) as inline:
+            expected = inline.run(echo_seed, tasks, seed=3).values()
+        with CampaignRunner(workers=2, chunk_size=2) as runner:
+            assert not runner.started
+            runner.start()
+            assert runner.started
+            first = runner.run(echo_seed, tasks, seed=3)
+            second = runner.run(echo_seed, tasks, seed=3)
+        assert first.values() == expected
+        assert second.values() == expected
+
+    def test_start_is_idempotent_and_keeps_the_pool(self):
+        with CampaignRunner(workers=2) as runner:
+            runner.start()
+            executor = runner._executor
+            runner.start()
+            assert runner._executor is executor
+
+    def test_start_is_a_noop_inline(self):
+        runner = CampaignRunner(workers=1)
+        assert runner.start() is runner
+        assert not runner.started
+        runner.close()
+
+    def test_warm_pool_survives_heartbeat_campaigns(self):
+        # start() provisions the heartbeat transport up front, so a later
+        # run(on_heartbeat=...) must reuse the warm pool, not rebuild it.
+        with CampaignRunner(workers=2, chunk_size=1) as runner:
+            runner.start()
+            executor = runner._executor
+            beats = []
+            result = runner.run(
+                square, [(i,) for i in range(4)], on_heartbeat=beats.append
+            )
+            assert result.ok
+            assert runner._executor is executor
+
+
+class TestResultsDirLifecycle:
+    def test_created_on_first_run_not_at_construction(self, tmp_path):
+        target = tmp_path / "campaign-artifacts"
+        with CampaignRunner(workers=1, results_dir=target) as runner:
+            # Constructing (e.g. probing a spec server-side) writes nothing.
+            assert not target.exists()
+            runner.run(square, [(1,), (2,)])
+        assert (target / "campaign.json").exists()
+
+
+class TestHeartbeatsDuringBackoff:
+    def test_beats_delivered_while_retry_backoff_sleeps(self, tmp_path):
+        """A beat that lands in the queue while every task sits in the
+        retry-backoff heap must reach the listener within one poll
+        interval — not after the whole backoff window (the stalled-
+        progress bug `repro serve` exposed)."""
+        received = []
+
+        def on_beat(beat):
+            received.append((time.monotonic(), beat.task_id))
+
+        injected_at = []
+        runner = CampaignRunner(
+            workers=2, chunk_size=1, max_retries=2, backoff_base_s=2.0
+        )
+
+        def inject():
+            # By now both workers have crashed and the runner is inside
+            # the ~2 s backoff window with nothing inflight.
+            time.sleep(0.7)
+            injected_at.append(time.monotonic())
+            runner._hb_queue.put(
+                Heartbeat(
+                    task_id=99,
+                    pid=0,
+                    sim_now_ps=1,
+                    sim_until_ps=2,
+                    events_executed=1,
+                    wall_s=0.0,
+                )
+            )
+
+        with runner:
+            runner.start()
+            thread = threading.Thread(target=inject, daemon=True)
+            thread.start()
+            result = runner.run(
+                crash_first_attempt,
+                [(i, str(tmp_path)) for i in range(2)],
+                on_heartbeat=on_beat,
+            )
+            thread.join()
+        assert result.ok
+        assert all(r.attempts == 2 for r in result.results)
+        delivery = [stamp for stamp, task in received if task == 99]
+        assert delivery, "injected heartbeat was never delivered"
+        assert delivery[0] - injected_at[0] < 0.8, (
+            "heartbeat sat undelivered through the retry-backoff window"
+        )
 
 
 class TestRunnerDeterminism:

@@ -1,0 +1,278 @@
+"""The campaign daemon: spec parsing, result cache, job queue, HTTP API."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.obs.export import parse_prometheus_text
+from repro.obs.manifest import CONFIG_HASH_VERSION
+from repro.parallel import CampaignRunner
+from repro.serve import (
+    JobQueue,
+    ReproServer,
+    ResultCache,
+    ServeClient,
+    ServeError,
+    parse_spec,
+)
+
+#: One fast sweep: a single grid point, half a simulated millisecond.
+TINY_SWEEP = {
+    "kind": "sweep",
+    "algorithm": "dcqcn",
+    "grid": [{"rate_ai_bps": 1e9}],
+    "n_senders": 2,
+    "duration_ms": 0.5,
+}
+
+
+class TestParseSpec:
+    def test_sweep_defaults_applied(self):
+        spec = parse_spec({"kind": "sweep", "algorithm": "dcqcn"})
+        assert spec.kind == "sweep"
+        assert spec.config["n_senders"] == 3
+        assert spec.config["grid"] == [{}]
+        assert spec.n_tasks == 1
+        assert "sweep dcqcn" in spec.describe()
+
+    def test_fluid_defaults_applied(self):
+        spec = parse_spec({"kind": "fluid", "algorithms": ["dctcp", "ideal"]})
+        assert spec.config["workload"] == "websearch"
+        assert spec.config["backend"] == "closed_form"
+        assert spec.n_tasks == 2
+
+    def test_seeds_multiply_task_count(self):
+        spec = parse_spec(
+            {"kind": "sweep", "algorithm": "dctcp", "grid": [{}, {}], "seeds": 3}
+        )
+        assert spec.n_tasks == 6
+
+    @pytest.mark.parametrize(
+        "payload,match",
+        [
+            ("not a dict", "JSON object"),
+            ({}, "'kind'"),
+            ({"kind": "nope"}, "'kind'"),
+            ({"kind": "sweep"}, "algorithm"),
+            ({"kind": "sweep", "algorithm": "dcqcn", "bogus": 1}, "unknown spec field"),
+            ({"kind": "sweep", "algorithm": "dcqcn", "grid": []}, "grid"),
+            ({"kind": "sweep", "algorithm": "dcqcn", "n_senders": 1}, "n_senders"),
+            ({"kind": "sweep", "algorithm": "dcqcn", "duration_ms": 0}, "duration_ms"),
+            ({"kind": "sweep", "algorithm": "dcqcn", "seed": True}, "seed"),
+            ({"kind": "fluid", "algorithms": ["martian"]}, "unknown fluid profile"),
+            ({"kind": "fluid", "algorithms": ["dctcp"], "workload": "x"}, "workload"),
+            ({"kind": "fluid", "algorithms": ["dctcp"], "backend": "gpu"}, "backend"),
+        ],
+    )
+    def test_bad_specs_rejected(self, payload, match):
+        with pytest.raises(ConfigError, match=match):
+            parse_spec(payload)
+
+    def test_hash_invariant_to_key_order_and_spelled_defaults(self):
+        """The cache-dedup contract: key order and explicitly spelling a
+        default must not change the canonical hash."""
+        terse = parse_spec({"kind": "sweep", "algorithm": "dcqcn"})
+        verbose = parse_spec(
+            {
+                "seed": 0,
+                "duration_ms": 6.0,
+                "algorithm": "dcqcn",
+                "n_senders": 3,
+                "kind": "sweep",
+                "grid": [{}],
+                "ecn_threshold_bytes": 84_000,
+                "seeds": None,
+            }
+        )
+        assert terse.config_hash == verbose.config_hash
+        changed = parse_spec({"kind": "sweep", "algorithm": "dcqcn", "seed": 1})
+        assert changed.config_hash != terse.config_hash
+
+    def test_grid_entry_key_order_invariant(self):
+        left = parse_spec(
+            {"kind": "sweep", "algorithm": "dcqcn", "grid": [{"a": 1, "b": 2}]}
+        )
+        right = parse_spec(
+            {"kind": "sweep", "algorithm": "dcqcn", "grid": [{"b": 2, "a": 1}]}
+        )
+        assert left.config_hash == right.config_hash
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = parse_spec(TINY_SWEEP)
+        assert cache.get(spec.config_hash) is None  # miss
+        cache.put(spec.config_hash, spec.config, {"points": [1, 2]}, seed=0)
+        entry = cache.get(spec.config_hash)
+        assert entry["result"] == {"points": [1, 2]}
+        assert entry["config_hash"] == spec.config_hash
+        assert entry["config_hash_version"] == CONFIG_HASH_VERSION
+        assert entry["manifest"]["config_hash"] == spec.config_hash
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = parse_spec(TINY_SWEEP)
+        cache.put(spec.config_hash, spec.config, {"ok": True}, seed=0)
+        [entry_path] = (tmp_path / "cache").glob("*/*.json")
+        entry_path.write_text("{ this is not json")
+        assert cache.get(spec.config_hash) is None
+
+    def test_mismatched_hash_is_a_miss(self, tmp_path):
+        """An entry whose recorded hash disagrees with its filename key
+        (tampering, or a hash-version migration) must not be served."""
+        cache = ResultCache(tmp_path / "cache")
+        spec = parse_spec(TINY_SWEEP)
+        cache.put(spec.config_hash, spec.config, {"ok": True}, seed=0)
+        [entry_path] = (tmp_path / "cache").glob("*/*.json")
+        entry = json.loads(entry_path.read_text())
+        entry["config_hash"] = "0" * 64
+        entry_path.write_text(json.dumps(entry))
+        assert cache.get(spec.config_hash) is None
+
+
+class TestJobQueue:
+    def _wait_done(self, queue, job_id, timeout_s=60.0):
+        job, _ = queue.wait(job_id, timeout_s=timeout_s)
+        while job is not None and not job.finished:
+            job, _ = queue.wait(job_id, timeout_s=timeout_s)
+        return job
+
+    def test_run_then_cache_hit(self, tmp_path):
+        events = []
+        queue = JobQueue(
+            CampaignRunner(workers=1),
+            ResultCache(tmp_path / "cache"),
+            on_event=lambda event, job: events.append(event),
+        )
+        queue.start()
+        try:
+            spec = parse_spec(TINY_SWEEP)
+            job = queue.submit(spec)
+            assert job.state in ("queued", "running")
+            job = self._wait_done(queue, job.id)
+            assert job.state == "done"
+            assert not job.cached
+            assert job.progress() == 1.0
+            assert len(job.result["points"]) == 1
+            assert job.beats, "the sweep should have streamed heartbeats"
+
+            # Identical spec again: served from cache, instantly done.
+            again = queue.submit(parse_spec(dict(TINY_SWEEP)))
+            assert again.id != job.id
+            assert again.cached
+            assert again.state == "done"
+            assert again.result == job.result
+            assert events.count("accepted") == 1
+            assert events.count("cache_hit") == 1
+        finally:
+            queue.close()
+
+    def test_submit_while_inflight_shares_the_job(self, tmp_path):
+        queue = JobQueue(CampaignRunner(workers=1), ResultCache(tmp_path / "c"))
+        queue.start()
+        try:
+            first = queue.submit(parse_spec(TINY_SWEEP))
+            second = queue.submit(parse_spec(TINY_SWEEP))
+            # Either coalesced onto the in-flight job, or (if the first
+            # finished in between) satisfied from its cached result.
+            assert second.id == first.id or second.cached
+            assert self._wait_done(queue, first.id).state == "done"
+        finally:
+            queue.close()
+
+    def test_queue_full_rejected(self, tmp_path):
+        # Never started: nothing drains, so the second distinct submit
+        # overflows a queue of depth 1.
+        queue = JobQueue(
+            CampaignRunner(workers=1), ResultCache(tmp_path / "c"), max_queued=1
+        )
+        queue.submit(parse_spec(TINY_SWEEP))
+        with pytest.raises(ReproError, match="full"):
+            queue.submit(parse_spec({**TINY_SWEEP, "seed": 7}))
+        assert queue.queue_depth() == 1
+
+    def test_failed_job_reports_error(self, tmp_path):
+        queue = JobQueue(CampaignRunner(workers=1), ResultCache(tmp_path / "c"))
+        queue.start()
+        try:
+            job = queue.submit(
+                parse_spec({**TINY_SWEEP, "algorithm": "no-such-algorithm"})
+            )
+            job = self._wait_done(queue, job.id)
+            assert job.state == "failed"
+            assert "no-such-algorithm" in job.error
+            # A failed run must NOT poison the cache.
+            assert queue.cache.get(job.config_hash) is None
+        finally:
+            queue.close()
+
+
+class TestServeHttp:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        server = ReproServer(port=0, workers=1, cache_dir=tmp_path / "cache")
+        server.start_background()
+        yield server
+        server.close()
+
+    def test_end_to_end_submit_poll_and_cached_resubmit(self, server):
+        client = ServeClient(server.host, server.port)
+        assert client.health()["ok"] is True
+
+        submitted = client.submit(TINY_SWEEP)
+        assert submitted["state"] in ("queued", "running", "done")
+        beats = []
+        final = client.wait(
+            submitted["job_id"], timeout_s=120.0, on_heartbeat=beats.append
+        )
+        assert final["state"] == "done"
+        assert final["cached"] is False
+        assert len(final["result"]["points"]) == 1
+        assert beats and beats[-1]["final"]
+        # Cursor-windowed long-polling must deliver each beat exactly once.
+        keys = [(b["task_id"], b["sim_now_ps"], b["final"]) for b in beats]
+        assert len(keys) == len(set(keys))
+
+        # Same campaign, permuted keys: instant cache hit, result inline.
+        resubmitted = client.submit(dict(reversed(list(TINY_SWEEP.items()))))
+        assert resubmitted["state"] == "done"
+        assert resubmitted["cached"] is True
+        assert resubmitted["result"] == final["result"]
+        assert resubmitted["job_id"] != final["job_id"]
+
+        assert [job["job_id"] for job in client.jobs()] == [
+            final["job_id"],
+            resubmitted["job_id"],
+        ]
+
+        samples = {
+            name: value
+            for name, _, value in parse_prometheus_text(client.metrics())
+        }
+        assert samples["repro_serve_jobs_accepted_total"] == 2
+        assert samples["repro_serve_jobs_completed_total"] == 1
+        assert samples["repro_serve_cache_hits_total"] == 1
+        assert samples["repro_serve_cache_misses_total"] == 1
+        assert samples["repro_serve_cache_entries"] == 1
+        assert samples["repro_serve_queue_depth"] == 0
+
+    def test_error_surfaces(self, server):
+        client = ServeClient(server.host, server.port)
+        with pytest.raises(ServeError) as bad_spec:
+            client.submit({"kind": "sweep"})  # missing algorithm
+        assert bad_spec.value.status == 400
+        assert "algorithm" in str(bad_spec.value)
+
+        with pytest.raises(ServeError) as bad_json:
+            client.submit({"kind": "sweep", "algorithm": "dcqcn", "bogus": 1})
+        assert bad_json.value.status == 400
+
+        with pytest.raises(ServeError) as missing:
+            client.job("job-999999")
+        assert missing.value.status == 404
