@@ -56,6 +56,7 @@ from repro.obs import (
 )
 from repro.obs.heartbeat import Heartbeat
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.backend import backend_names
 from repro.units import MS, US, format_rate
 
 
@@ -126,7 +127,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             int_enabled=args.int_enabled,
             trace_cc=args.trace,
         )
-    cp = ControlPlane()
+    cp = ControlPlane(sim_backend=args.sim_backend)
     tester = cp.deploy(config)
     cp.wire_loopback_fabric()
     registry = instrument_control_plane(cp) if args.metrics_out else None
@@ -261,6 +262,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             seeds=args.seeds,
             seed=args.seed,
+            sim_backend=args.sim_backend,
             runner=runner,
             on_heartbeat=on_heartbeat,
         )
@@ -309,6 +311,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "ecn_threshold": args.ecn_threshold,
                 "workers": args.workers,
                 "seeds": args.seeds,
+                "sim_backend": args.sim_backend or "auto",
             }
             manifest = build_manifest(
                 config,
@@ -567,6 +570,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+        cache_ttl_s=args.cache_ttl,
         results_dir=args.results_dir,
         max_queued=args.max_queued,
         task_timeout_s=args.task_timeout,
@@ -745,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON TestConfig file (overrides the individual options)",
     )
+    p_run.add_argument(
+        "--sim-backend",
+        choices=backend_names(),
+        default=None,
+        help="run-loop backend (default: $REPRO_SIM_BACKEND, else auto); "
+             "backends are bit-identical, this only changes speed",
+    )
 
     p_sweep = sub.add_parser(
         "sweep", help="CC parameter sweep, sharded across a process pool"
@@ -791,6 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a campaign journal + per-task flight-recorder "
              "post-mortems here (input for `repro trace`)",
+    )
+    p_sweep.add_argument(
+        "--sim-backend",
+        choices=backend_names(),
+        default=None,
+        help="run-loop backend for every task (default: $REPRO_SIM_BACKEND, "
+             "else auto); backends are bit-identical, this only changes speed",
     )
 
     p_fluid = sub.add_parser(
@@ -883,6 +902,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-dir", default=".repro-cache",
         help="result-cache directory keyed by canonical config hash",
+    )
+    p_serve.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="cap on cached campaigns; least-recently-used entries are "
+             "evicted past it (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire cached campaigns older than this (default: never)",
     )
     p_serve.add_argument(
         "--results-dir", default=None,

@@ -53,10 +53,26 @@ def wire_tester_fabric(
 
 
 class ControlPlane:
-    """Deploys configurations and orchestrates test runs."""
+    """Deploys configurations and orchestrates test runs.
 
-    def __init__(self, sim: Optional[Simulator] = None) -> None:
-        self.sim = sim if sim is not None else Simulator()
+    ``sim_backend`` selects the run-loop backend ("auto", "python",
+    "compiled" — see :mod:`repro.sim.backend`) for the simulator the
+    control plane constructs; it cannot be combined with an explicit
+    ``sim`` (whose backend was fixed at its construction).
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        sim_backend: Optional[str] = None,
+    ) -> None:
+        if sim is not None and sim_backend is not None:
+            raise ConfigError(
+                "pass either an existing sim or sim_backend, not both "
+                "(the backend of an existing Simulator is already fixed)"
+            )
+        self.sim = sim if sim is not None else Simulator(backend=sim_backend)
         self.tester: Optional[MarlinTester] = None
         self.topology: Optional[Topology] = None
         self.fabric: Optional[NetworkSwitch] = None

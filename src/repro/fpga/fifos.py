@@ -11,22 +11,39 @@ check.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Generic, Optional, TypeVar
 
 T = TypeVar("T")
 
 
-@dataclass
 class FifoStats:
-    pushed: int = 0
-    popped: int = 0
-    dropped: int = 0
-    max_depth: int = 0
+    """Live view of a FIFO's counters (stored flat on the FIFO — the
+    push/pop hot path touches one attribute, not two)."""
+
+    __slots__ = ("_f",)
+
+    def __init__(self, fifo: "Fifo") -> None:
+        self._f = fifo
+
+    pushed = property(lambda s: s._f.pushed)
+    popped = property(lambda s: s._f.popped)
+    dropped = property(lambda s: s._f.dropped)
+    max_depth = property(lambda s: s._f.max_depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FifoStats(pushed={self.pushed}, popped={self.popped}, "
+            f"dropped={self.dropped}, max_depth={self.max_depth})"
+        )
 
 
 class Fifo(Generic[T]):
     """A bounded FIFO with drop-on-full semantics and counters."""
+
+    __slots__ = (
+        "capacity", "name", "_queue",
+        "pushed", "popped", "dropped", "max_depth", "stats",
+    )
 
     def __init__(self, capacity: int, *, name: str = "fifo") -> None:
         if capacity <= 0:
@@ -34,7 +51,11 @@ class Fifo(Generic[T]):
         self.capacity = capacity
         self.name = name
         self._queue: deque[T] = deque()
-        self.stats = FifoStats()
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        self.max_depth = 0
+        self.stats = FifoStats(self)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -49,19 +70,20 @@ class Fifo(Generic[T]):
 
     def push(self, item: T) -> bool:
         """Append ``item``; returns False (counting a drop) when full."""
-        if len(self._queue) >= self.capacity:
-            self.stats.dropped += 1
+        queue = self._queue
+        if len(queue) >= self.capacity:
+            self.dropped += 1
             return False
-        self._queue.append(item)
-        self.stats.pushed += 1
-        if len(self._queue) > self.stats.max_depth:
-            self.stats.max_depth = len(self._queue)
+        queue.append(item)
+        self.pushed += 1
+        if len(queue) > self.max_depth:
+            self.max_depth = len(queue)
         return True
 
     def pop(self) -> Optional[T]:
         if not self._queue:
             return None
-        self.stats.popped += 1
+        self.popped += 1
         return self._queue.popleft()
 
     def peek(self) -> Optional[T]:

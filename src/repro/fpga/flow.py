@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.units import SECOND, wire_bits
+
 
 @dataclass
 class FlowState:
@@ -47,6 +49,13 @@ class FlowState:
     cust: Any = None
     #: Slow-path variables (algorithm-defined dataclass or None).
     slow: Any = None
+    #: Precomputed pacing numerator: ``wire_bits(frame_bytes) * SECOND``,
+    #: so the scheduler's per-emit gap is one division,
+    #: ``pace_num / rate_bps`` (see repro.net.datapath for the scheme).
+    pace_num: int = 0
+
+    def __post_init__(self) -> None:
+        self.pace_num = wire_bits(self.frame_bytes) * SECOND
 
     @property
     def fct_ps(self) -> int:

@@ -30,7 +30,7 @@ from repro.cc.base import (
     CCAlgorithm,
     CCMode,
     EventType,
-    Flags,
+    NO_FLAGS,
     IntrinsicInput,
     IntrinsicOutput,
 )
@@ -183,6 +183,13 @@ class FpgaNic(Device):
         self.infos_for_unknown_flows = 0
         self.rmw_stalls = 0
         self.rx_timer_bypassed = cfg.disable_rx_timer
+        #: Hot-path aliases of per-packet config flags (the config is
+        #: frozen after deploy; reading ``self.config.x`` per INFO costs
+        #: two attribute lookups each).
+        self._rx_bypass = cfg.disable_rx_timer
+        self._sample_rtt = cfg.sample_rtt
+        self._trace_cc = cfg.trace_cc
+        self._rx_interval_ps = self.frequency.rx_interval_ps
         #: (flow_id, rtt_ps) samples when ``sample_rtt`` is enabled.
         self.rtt_samples: deque[tuple[int, int]] = deque(
             maxlen=cfg.rtt_sample_capacity
@@ -271,7 +278,7 @@ class FpgaNic(Device):
         # The parser copied everything into the ReceptionEvent; the 64 B
         # INFO packet's life ends here.
         PACKET_POOL.release(packet)
-        if self.config.disable_rx_timer:
+        if self._rx_bypass:
             # Ablation: no frequency control on the ingress path.
             self._process_reception(event)
             return
@@ -300,23 +307,30 @@ class FpgaNic(Device):
 
     def _drain(self, index: int) -> None:
         self._drain_pending[index] = False
-        head = self.rx_fifos[index].peek()
+        fifo = self.rx_fifos[index]
+        now = self.sim.now
+        head = fifo.peek()
         if head is not None:
             # Atomicity: if the head event's flow still has an RMW in
             # flight, the pipeline stalls until it completes (Section 5.3's
             # "packets will have to wait ... causing a drop in throughput";
             # frequency control exists to make this never happen).
             busy_until = self.bram.busy_until(head.flow_id)
-            if busy_until > self.sim.now:
+            if busy_until > now:
                 self.rmw_stalls += 1
                 self._drain_pending[index] = True
                 self.sim.at(busy_until, self._drain, index)
                 return
-        self._next_drain_ps[index] = self.sim.now + self.frequency.rx_interval_ps
-        event = self.rx_fifos[index].pop()
+        next_ps = now + self._rx_interval_ps
+        self._next_drain_ps[index] = next_ps
+        event = fifo.pop()
         if event is not None:
             self._process_reception(event)
-        self._kick_drain(index)
+        if fifo._queue:
+            # Inlined ``_kick_drain``: the next slot is always in the
+            # future here, so no ``max(now, ...)`` is needed.
+            self._drain_pending[index] = True
+            self.sim.at(next_ps, self._drain, index)
 
     # -- CC event processing --------------------------------------------------------
 
@@ -326,7 +340,7 @@ class FpgaNic(Device):
             self.infos_for_unknown_flows += 1
             return
         self.infos_processed += 1
-        if self.config.sample_rtt and event.prb_rtt_ps >= 0:
+        if self._sample_rtt and event.prb_rtt_ps >= 0:
             self.rtt_samples.append((flow.flow_id, event.prb_rtt_ps))
         if event.flags.ack and event.psn > flow.una:
             flow.una = min(event.psn, flow.size_packets)
@@ -358,7 +372,7 @@ class FpgaNic(Device):
             cwnd_or_rate=flow.cwnd_or_rate,
             una=flow.una,
             nxt=flow.nxt,
-            flags=Flags(),
+            flags=NO_FLAGS,
             prb_rtt=-1,
             tstamp=self.sim.now,
             timer_id=timer_id,
@@ -382,7 +396,7 @@ class FpgaNic(Device):
             cwnd_or_rate=flow.cwnd_or_rate,
             una=flow.una,
             nxt=flow.nxt,
-            flags=Flags(),
+            flags=NO_FLAGS,
             prb_rtt=-1,
             tstamp=self.sim.now,
         )
@@ -400,7 +414,7 @@ class FpgaNic(Device):
                     cwnd_or_rate=flow.cwnd_or_rate,
                     previous=previous,
                 )
-            if self.config.trace_cc:
+            if self._trace_cc:
                 self.logger.log(
                     self.sim.now,
                     f"flow{flow.flow_id}",
@@ -418,7 +432,7 @@ class FpgaNic(Device):
             self.slow_path.submit(
                 self.algorithm, flow.flow_id, slow_event, flow.cust, flow.slow
             )
-            if self.config.trace_cc and flow.slow is not None:
+            if self._trace_cc and flow.slow is not None:
                 self._trace_slow_later(flow)
         for record in out.log_content:
             self.logger.log(self.sim.now, f"flow{flow.flow_id}.user", **record)

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cc.base import Flags
+from repro.cc.base import Flags, flags_for
 from repro.net.packet import Packet
 from repro.pswitch.packets import PTYPE_INFO
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ReceptionEvent:
     """One parsed INFO packet."""
 
@@ -42,20 +42,21 @@ class InfoParser:
         if packet.ptype != PTYPE_INFO:
             self.malformed += 1
             return None
-        echo = packet.meta.get("echo_tstamp_ps", -1)
+        meta = packet.meta
+        echo = meta.get("echo_tstamp_ps", -1)
         prb_rtt = now_ps - echo if echo >= 0 else -1
         self.parsed += 1
         return ReceptionEvent(
             flow_id=packet.flow_id,
             psn=packet.psn,
-            flags=Flags(
-                ack=packet.psn >= 0,
-                ecn=packet.ecn_echo,
-                nack=bool(packet.meta.get("nack", False)),
-                cnp=bool(packet.meta.get("cnp", False)),
+            flags=flags_for(
+                packet.psn >= 0,
+                packet.ecn_echo,
+                bool(meta.get("nack", False)),
+                bool(meta.get("cnp", False)),
             ),
             prb_rtt_ps=prb_rtt,
-            rx_port=int(packet.meta.get("rx_port", 0)),
+            rx_port=int(meta.get("rx_port", 0)),
             arrival_ps=now_ps,
-            int_path=tuple(packet.meta.get("int_path", ())),
+            int_path=tuple(meta.get("int_path", ())),
         )

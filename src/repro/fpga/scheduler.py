@@ -31,7 +31,6 @@ from repro.cc.base import CCMode
 from repro.fpga.fifos import Fifo
 from repro.fpga.flow import FlowState
 from repro.sim.engine import Simulator
-from repro.units import SECOND, wire_bits
 
 #: The rescheduling loop latency (Section 5.2: "this entire loop only
 #: takes six clock cycles").  Must be below the TX period; validated by
@@ -158,7 +157,7 @@ class PortScheduler:
             self.skipped_pacing += 1
             self.sched_fifo.push(flow)
             return
-        pacing_ps = int(wire_bits(flow.frame_bytes) * SECOND / flow.cwnd_or_rate)
+        pacing_ps = int(flow.pace_num / flow.cwnd_or_rate)
         flow.next_send_ps = max(flow.next_send_ps, self.sim.now) + pacing_ps
         self._emit(flow)
         self.sched_fifo.push(flow)

@@ -12,10 +12,16 @@ import itertools
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ConfigError
+from repro.net import datapath
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
 from repro.units import RATE_100G, serialization_time_ps
+
+try:  # the compiled port core (see repro.sim._cengine: CPort)
+    from repro.sim import _cengine as _C
+except Exception:  # pragma: no cover - extension not built
+    _C = None
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.link import Link
@@ -23,8 +29,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _device_uid = itertools.count()
 
 
-class Port:
+class _PyPort:
     """One device port: an output queue plus a rate-limited transmitter."""
+
+    __slots__ = (
+        "device", "index", "rate_bps", "queue", "link",
+        "_busy", "_busy_until_ps", "paused", "pause_events",
+        "tx_packets", "tx_bytes", "rx_packets", "rx_bytes",
+        "sim", "_ser_ps", "_receive",
+    )
 
     def __init__(
         self,
@@ -39,7 +52,12 @@ class Port:
         self.rate_bps = rate_bps
         self.queue = queue if queue is not None else DropTailQueue(capacity_bytes=2**20)
         self.link: Optional["Link"] = None
+        #: True while a ``_transmit_next`` wakeup is scheduled (the
+        #: transmit chain is live).  When the queue drains, the chain
+        #: parks instead of scheduling an empty wakeup, and
+        #: ``_busy_until_ps`` remembers until when the wire is occupied.
         self._busy = False
+        self._busy_until_ps = 0
         #: PFC: while paused, the transmitter holds frames in its queue.
         self.paused = False
         self.pause_events = 0
@@ -47,10 +65,12 @@ class Port:
         self.tx_bytes = 0
         self.rx_packets = 0
         self.rx_bytes = 0
-
-    @property
-    def sim(self) -> Simulator:
-        return self.device.sim
+        #: Hot-path aliases: the simulator (ports never migrate between
+        #: devices) and the shared per-rate serialization table (see
+        #: :mod:`repro.net.datapath`).
+        self.sim: Simulator = device.sim
+        self._ser_ps = datapath.shared().ser_table(rate_bps)
+        self._receive = device.receive
 
     @property
     def name(self) -> str:
@@ -64,7 +84,14 @@ class Port:
             raise ConfigError(f"port {self.name} is not connected to a link")
         accepted = self.queue.enqueue(packet)
         if accepted and not self._busy and not self.paused:
-            self._transmit_next()
+            if self.sim.now >= self._busy_until_ps:
+                self._transmit_next()
+            else:
+                # The wire is still draining the previous frame (the
+                # chain parked on an empty queue): wake exactly when it
+                # frees instead of having polled at every frame end.
+                self._busy = True
+                self.sim.at(self._busy_until_ps, self._transmit_next)
         return accepted
 
     def pause(self) -> None:
@@ -80,23 +107,40 @@ class Port:
             return
         self.paused = False
         if not self._busy and not self.queue.empty:
-            self._transmit_next()
+            if self.sim.now >= self._busy_until_ps:
+                self._transmit_next()
+            else:
+                self._busy = True
+                self.sim.at(self._busy_until_ps, self._transmit_next)
 
     def _transmit_next(self) -> None:
         if self.paused:
             self._busy = False
             return
-        packet = self.queue.dequeue()
+        queue = self.queue
+        packet = queue.dequeue()
         if packet is None:
             self._busy = False
             return
-        self._busy = True
-        tx_time = serialization_time_ps(packet.size_bytes, self.rate_bps)
+        size = packet.size_bytes
+        tx_time = self._ser_ps.get(size)
+        if tx_time is None:
+            tx_time = serialization_time_ps(size, self.rate_bps)
+            self._ser_ps[size] = tx_time
         self.tx_packets += 1
-        self.tx_bytes += packet.size_bytes
-        assert self.link is not None
-        self.link.carry(self, packet, depart_ps=self.sim.now + tx_time)
-        self.sim.after(tx_time, self._transmit_next)
+        self.tx_bytes += size
+        depart_ps = self.sim.now + tx_time
+        self.link.carry(self, packet, depart_ps=depart_ps)
+        self._busy_until_ps = depart_ps
+        if queue._queue:
+            # More frames waiting: keep the transmit chain hot.
+            self._busy = True
+            self.sim.after(tx_time, self._transmit_next)
+        else:
+            # Queue drained: park instead of scheduling a wakeup that
+            # would usually find nothing to do.  ``send``/``resume``
+            # restart the chain no earlier than ``_busy_until_ps``.
+            self._busy = False
 
     # -- receive path -------------------------------------------------------
 
@@ -104,10 +148,66 @@ class Port:
         """Called by the link when a packet finishes arriving at this port."""
         self.rx_packets += 1
         self.rx_bytes += packet.size_bytes
-        self.device.receive(packet, self)
+        self._receive(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Port {self.name} rate={self.rate_bps}>"
+
+
+def _simref_for(sim: Simulator):
+    """A per-simulator SimRef for the C port's direct heap pushes.
+
+    The compiled backend already hangs one off the instance (``_cref``);
+    python-backend simulators get a private one, shared by all their
+    ports.  Either way the pushes are identical to ``sim.at``/``after``,
+    so backend choice and port implementation stay orthogonal."""
+    ref = getattr(sim, "_cref", None)
+    if ref is None:
+        ref = getattr(sim, "_portref", None)
+        if ref is None:
+            ref = _C.SimRef(sim)
+            sim._portref = ref
+    return ref
+
+
+if _C is not None:
+    class Port(_C.CPort):
+        """One device port: an output queue plus a rate-limited
+        transmitter.
+
+        Compiled variant: send/transmit/deliver and the PFC park logic
+        live in :class:`repro.sim._cengine.CPort`, scheduling follow-ups
+        by pushing heap entries directly in C.  Event streams and
+        counters are bit-identical to :class:`_PyPort` (the class used
+        when the extension isn't built)."""
+
+        __slots__ = ()
+
+        def __init__(
+            self,
+            device: "Device",
+            index: int,
+            *,
+            rate_bps: int = RATE_100G,
+            queue: Optional[DropTailQueue] = None,
+        ) -> None:
+            if queue is None:
+                queue = DropTailQueue(capacity_bytes=2**20)
+            sim = device.sim
+            _C.CPort.__init__(
+                self, device, index, rate_bps, queue, sim, device.receive,
+                datapath.shared().ser_table(rate_bps),
+                serialization_time_ps, _simref_for(sim),
+            )
+
+        @property
+        def name(self) -> str:
+            return f"{self.device.name}.p{self.index}"
+
+        def __repr__(self) -> str:  # pragma: no cover - debugging aid
+            return f"<Port {self.name} rate={self.rate_bps}>"
+else:  # pragma: no cover - exercised on builds without the extension
+    Port = _PyPort
 
 
 class Device:

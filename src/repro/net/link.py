@@ -18,6 +18,11 @@ from repro.net.packet import Packet
 class Link:
     """Connects exactly two ports with a fixed one-way propagation delay."""
 
+    __slots__ = (
+        "a", "b", "delay_ps", "name", "carried_packets", "carried_bytes",
+        "_deliver_a", "_deliver_b", "_sim",
+    )
+
     def __init__(self, a: Port, b: Port, *, delay_ps: int = 0, name: Optional[str] = None):
         if delay_ps < 0:
             raise ConfigError(f"link delay must be >= 0, got {delay_ps}")
@@ -33,6 +38,12 @@ class Link:
         b.link = self
         self.carried_packets = 0
         self.carried_bytes = 0
+        # Hot-path aliases: per-direction deliver targets and the
+        # simulator, bound once so `carry` does no peer lookup or
+        # attribute chain per packet.
+        self._deliver_a = a.deliver
+        self._deliver_b = b.deliver
+        self._sim = a.device.sim
 
     def peer(self, port: Port) -> Port:
         if port is self.a:
@@ -44,10 +55,17 @@ class Link:
     def carry(self, src_port: Port, packet: Packet, *, depart_ps: int) -> None:
         """Deliver ``packet`` to the far end.  ``depart_ps`` is when the last
         bit leaves ``src_port``; arrival is that plus propagation delay."""
-        dst_port = self.peer(src_port)
+        if src_port is self.a:
+            deliver = self._deliver_b
+        elif src_port is self.b:
+            deliver = self._deliver_a
+        else:
+            raise ConfigError(
+                f"port {src_port.name} is not attached to link {self.name}"
+            )
         self.carried_packets += 1
         self.carried_bytes += packet.size_bytes
-        src_port.sim.at(depart_ps + self.delay_ps, dst_port.deliver, packet)
+        self._sim.at(depart_ps + self.delay_ps, deliver, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} delay={self.delay_ps}ps>"

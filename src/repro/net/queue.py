@@ -11,43 +11,88 @@ fabrics for testing).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.packet import Packet
 
+try:  # the compiled queue core (see repro.sim._cengine: CQueue)
+    from repro.sim import _cengine as _C
+except Exception:  # pragma: no cover - extension not built
+    _C = None
 
-@dataclass
+
 class QueueStats:
-    """Counters exposed by every queue (readable like hardware registers)."""
+    """Counters exposed by every queue (readable like hardware registers).
 
-    enqueued_packets: int = 0
-    enqueued_bytes: int = 0
-    dequeued_packets: int = 0
-    dequeued_bytes: int = 0
-    dropped_packets: int = 0
-    dropped_bytes: int = 0
-    ecn_marked_packets: int = 0
-    max_backlog_bytes: int = 0
+    The counters themselves live as plain attributes on the queue — the
+    per-packet enqueue/dequeue path increments one attribute instead of
+    going through an extra indirection — and this view exposes them
+    under the stable ``queue.stats.name`` API."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self, queue: "DropTailQueue") -> None:
+        self._q = queue
+
+    enqueued_packets = property(lambda s: s._q.enqueued_packets)
+    enqueued_bytes = property(lambda s: s._q.enqueued_bytes)
+    dequeued_packets = property(lambda s: s._q.dequeued_packets)
+    dequeued_bytes = property(lambda s: s._q.dequeued_bytes)
+    dropped_packets = property(lambda s: s._q.dropped_packets)
+    dropped_bytes = property(lambda s: s._q.dropped_bytes)
+    ecn_marked_packets = property(lambda s: s._q.ecn_marked_packets)
+    max_backlog_bytes = property(lambda s: s._q.max_backlog_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in (
+                "enqueued_packets", "enqueued_bytes", "dequeued_packets",
+                "dequeued_bytes", "dropped_packets", "dropped_bytes",
+                "ecn_marked_packets", "max_backlog_bytes",
+            )
+        )
+        return f"QueueStats({fields})"
 
 
-class DropTailQueue:
+class _PyDropTailQueue:
     """FIFO with a byte-capacity bound; arrivals beyond capacity are dropped."""
 
-    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level None
-    #: so an unattached queue pays only the rare-branch ``is not None``
-    #: checks (same contract as ``on_backlog_change``).
-    _flight = None
-    #: Human label used in flight events (set by ``flight.attach``).
-    flight_label = ""
+    __slots__ = (
+        "capacity_bytes", "_queue", "backlog_bytes",
+        "enqueued_packets", "enqueued_bytes",
+        "dequeued_packets", "dequeued_bytes",
+        "dropped_packets", "dropped_bytes",
+        "ecn_marked_packets", "max_backlog_bytes",
+        "stats", "ecn_threshold_bytes", "on_backlog_change",
+        "_flight", "flight_label",
+    )
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        #: Optional :class:`repro.obs.flight.FlightRecorder` (set by
+        #: ``flight.attach``) and its human label; an unattached queue
+        #: pays only the rare-branch ``is not None`` checks (same
+        #: contract as ``on_backlog_change``).
+        self._flight = None
+        self.flight_label = ""
         self.capacity_bytes = capacity_bytes
         self._queue: deque[Packet] = deque()
         self.backlog_bytes = 0
-        self.stats = QueueStats()
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.ecn_marked_packets = 0
+        self.max_backlog_bytes = 0
+        self.stats = QueueStats(self)
+        #: CE-mark threshold; ``None`` disables marking.  Kept on the
+        #: base class so ``enqueue`` tests one attribute instead of
+        #: dispatching to a subclass hook per packet.
+        self.ecn_threshold_bytes: Optional[int] = None
         #: Optional observer called with the new backlog after every
         #: enqueue/dequeue (used by the PFC controller).
         self.on_backlog_change = None
@@ -61,54 +106,95 @@ class DropTailQueue:
 
     def enqueue(self, packet: Packet) -> bool:
         """Append ``packet``; returns False (and counts a drop) when full."""
-        if self.backlog_bytes + packet.size_bytes > self.capacity_bytes:
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += packet.size_bytes
+        size = packet.size_bytes
+        backlog = self.backlog_bytes + size
+        if backlog > self.capacity_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += size
             if self._flight is not None:
                 self._flight.note(
                     "queue", "drop",
                     queue=self.flight_label,
-                    size_bytes=packet.size_bytes,
+                    size_bytes=size,
                     backlog_bytes=self.backlog_bytes,
                     flow=packet.flow_id,
                 )
             return False
         self._queue.append(packet)
-        self.backlog_bytes += packet.size_bytes
+        self.backlog_bytes = backlog
         if self._flight is not None and self._flight.enqueues:
             self._flight.note(
                 "queue", "enqueue",
                 queue=self.flight_label,
-                size_bytes=packet.size_bytes,
-                backlog_bytes=self.backlog_bytes,
+                size_bytes=size,
+                backlog_bytes=backlog,
                 flow=packet.flow_id,
             )
-        self._on_accept(packet)
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size_bytes
-        if self.backlog_bytes > self.stats.max_backlog_bytes:
-            self.stats.max_backlog_bytes = self.backlog_bytes
+        threshold = self.ecn_threshold_bytes
+        if threshold is not None and backlog >= threshold:
+            before = packet.ce_marked
+            packet.mark_ce()
+            if packet.ce_marked and not before:
+                self.ecn_marked_packets += 1
+                if self._flight is not None:
+                    self._flight.note(
+                        "queue", "ecn_mark",
+                        queue=self.flight_label,
+                        backlog_bytes=backlog,
+                        flow=packet.flow_id,
+                    )
+        self.enqueued_packets += 1
+        self.enqueued_bytes += size
+        if backlog > self.max_backlog_bytes:
+            self.max_backlog_bytes = backlog
         if self.on_backlog_change is not None:
-            self.on_backlog_change(self.backlog_bytes)
+            self.on_backlog_change(backlog)
         return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self.backlog_bytes -= packet.size_bytes
-        self.stats.dequeued_packets += 1
-        self.stats.dequeued_bytes += packet.size_bytes
+        backlog = self.backlog_bytes - packet.size_bytes
+        self.backlog_bytes = backlog
+        self.dequeued_packets += 1
+        self.dequeued_bytes += packet.size_bytes
         if self.on_backlog_change is not None:
-            self.on_backlog_change(self.backlog_bytes)
+            self.on_backlog_change(backlog)
         return packet
 
-    def _on_accept(self, packet: Packet) -> None:
-        """Hook for subclasses, called just before an accepted enqueue."""
+
+if _C is not None:
+    class DropTailQueue(_C.CQueue):
+        """FIFO with a byte-capacity bound; arrivals beyond capacity are
+        dropped.
+
+        Compiled variant: the ring buffer, counters, ECN compare, and
+        the rare-path hooks all live in :class:`repro.sim._cengine.CQueue`
+        with semantics identical to :class:`_PyDropTailQueue` (which is
+        the class you get when the extension isn't built)."""
+
+        __slots__ = ()
+
+        def __init__(self, capacity_bytes: int) -> None:
+            if capacity_bytes <= 0:
+                raise ValueError(
+                    f"capacity must be positive, got {capacity_bytes}"
+                )
+            _C.CQueue.__init__(self, capacity_bytes)
+            self.stats = QueueStats(self)
+else:  # pragma: no cover - exercised on builds without the extension
+    DropTailQueue = _PyDropTailQueue
 
 
 class EcnQueue(DropTailQueue):
-    """Drop-tail queue that CE-marks arrivals when the backlog is >= K."""
+    """Drop-tail queue that CE-marks arrivals when the backlog is >= K.
+
+    Marking itself lives inline in :meth:`DropTailQueue.enqueue` (gated
+    on ``ecn_threshold_bytes``); this subclass only validates and sets
+    the threshold."""
+
+    __slots__ = ()
 
     def __init__(self, capacity_bytes: int, ecn_threshold_bytes: int) -> None:
         super().__init__(capacity_bytes)
@@ -118,17 +204,3 @@ class EcnQueue(DropTailQueue):
                 f"{ecn_threshold_bytes} with capacity {capacity_bytes}"
             )
         self.ecn_threshold_bytes = ecn_threshold_bytes
-
-    def _on_accept(self, packet: Packet) -> None:
-        if self.backlog_bytes >= self.ecn_threshold_bytes:
-            before = packet.ce_marked
-            packet.mark_ce()
-            if packet.ce_marked and not before:
-                self.stats.ecn_marked_packets += 1
-                if self._flight is not None:
-                    self._flight.note(
-                        "queue", "ecn_mark",
-                        queue=self.flight_label,
-                        backlog_bytes=self.backlog_bytes,
-                        flow=packet.flow_id,
-                    )

@@ -32,6 +32,10 @@ class NetworkSwitch(Device):
         #: ECMP groups: destination -> candidate ports, selected per flow
         #: by a deterministic hash (multi-path fabrics).
         self._ecmp: dict[int, list[Port]] = {}
+        #: Memoized ECMP picks: (dst, flow, src) -> port.  The hash is a
+        #: pure function of those keys and the (static) group, so the
+        #: cache is exact; it is cleared when a group is (re)installed.
+        self._ecmp_cache: dict[tuple, Port] = {}
         self.forwarded_packets = 0
         self.dropped_no_route = 0
         #: Optional per-packet interceptor used by experiments to inject
@@ -73,6 +77,7 @@ class NetworkSwitch(Device):
                     f"ECMP member {port.name} does not belong to {self.name}"
                 )
         self._ecmp[dst] = list(ports)
+        self._ecmp_cache.clear()
 
     def route_for(self, dst: int) -> Optional[Port]:
         return self._forwarding.get(dst)
@@ -80,17 +85,27 @@ class NetworkSwitch(Device):
     def _select_port(self, packet: Packet) -> Optional[Port]:
         group = self._ecmp.get(packet.dst)
         if group is not None:
-            # Deterministic flow hash: (flow, src, dst) scrambled by a
-            # 64-bit multiplicative hash, stable across runs.
-            key = (packet.flow_id * 1_000_003 + packet.src * 97 + packet.dst)
-            index = (key * 0x9E3779B97F4A7C15 >> 32) % len(group)
-            return group[index]
+            cache_key = (packet.dst, packet.flow_id, packet.src)
+            port = self._ecmp_cache.get(cache_key)
+            if port is None:
+                # Deterministic flow hash: (flow, src, dst) scrambled by
+                # a 64-bit multiplicative hash, stable across runs.
+                key = (packet.flow_id * 1_000_003 + packet.src * 97 + packet.dst)
+                index = (key * 0x9E3779B97F4A7C15 >> 32) % len(group)
+                port = group[index]
+                self._ecmp_cache[cache_key] = port
+            return port
         return self._forwarding.get(packet.dst)
 
     def receive(self, packet: Packet, port: Port) -> None:
         if self.packet_filter is not None and not self.packet_filter(packet, port):
             return
-        out_port = self._select_port(packet)
+        # Single-path forwarding inline; only fabrics with ECMP groups
+        # pay for the selector.
+        if self._ecmp:
+            out_port = self._select_port(packet)
+        else:
+            out_port = self._forwarding.get(packet.dst)
         if out_port is None:
             self.dropped_no_route += 1
             if self._flight is not None:
@@ -100,5 +115,8 @@ class NetworkSwitch(Device):
                 )
             return
         self.forwarded_packets += 1
-        int_telemetry.stamp(packet, out_port, self.sim.now)
+        # Inlined INT gate (``stamp`` would no-op anyway; the common
+        # non-INT case skips the call and the clock read entirely).
+        if packet.meta.get(int_telemetry.INT_ENABLED):
+            int_telemetry.stamp(packet, out_port, self.sim.now)
         out_port.send(packet)

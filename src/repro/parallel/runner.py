@@ -659,8 +659,13 @@ class CampaignRunner:
         # Backoff queue of (due_monotonic, tiebreak, spec) awaiting resubmit.
         retry_queue: list[tuple[float, int, _TaskSpec]] = []
         tiebreak = itertools.count()
+        # Futures carrying a crash/timeout retry. Retries are serialized
+        # against each other: a task that kills its worker on every attempt
+        # must not take an innocent task's *retry* down with it (collateral
+        # BrokenProcessPool burns an attempt, and retries are the last ones).
+        retry_futures: set[Future] = set()
 
-        def submit(chunk: list[_TaskSpec]) -> None:
+        def submit(chunk: list[_TaskSpec]) -> Future:
             for spec in chunk:
                 attempts[spec.index] += 1
             try:
@@ -674,6 +679,7 @@ class CampaignRunner:
                 deadlines[future] = (
                     time.monotonic() + self.task_timeout_s * len(chunk)
                 )
+            return future
 
         def fail(spec: _TaskSpec, kind: str, message: str) -> None:
             """Retry an infra failure with backoff, or record it finally."""
@@ -708,8 +714,11 @@ class CampaignRunner:
             while len(final) < len(specs):
                 now = time.monotonic()
                 while retry_queue and retry_queue[0][0] <= now:
+                    if any(f in retry_futures for f in inflight):
+                        break  # one retry at a time: no cross-retry fallout
                     _, _, spec = heapq.heappop(retry_queue)
-                    submit([spec])  # retries run solo: no chunk-mates at risk
+                    # Retries run solo: no chunk-mates at risk.
+                    retry_futures.add(submit([spec]))
 
                 wakeups = [deadline for deadline in deadlines.values()]
                 if retry_queue:

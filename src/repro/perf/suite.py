@@ -9,7 +9,7 @@ sweep grid run serially and through the ``repro.parallel`` process
 pool, recording both throughputs and their ratio), plus
 ``obs_overhead`` (the same event chain metrics-off vs metrics-on,
 guarding the observability layer's <= 5% budget).  Results are stamped
-with the execution environment and written as JSON (``BENCH_PR7.json``
+with the execution environment and written as JSON (``BENCH_PR10.json``
 by default), optionally compared against a checked-in baseline: any
 guarded rate falling more than its tolerance below baseline (the
 ``--tolerance`` default, or a per-bench ``tolerance`` recorded in the
@@ -484,12 +484,16 @@ def run_suite(
         ),
     }
     if only:
-        unknown = sorted(set(only) - set(benches))
+        # Short aliases for the two gated hot-path benches.
+        aliases = {"engine": "engine_event_rate", "datapath": "datapath_rate"}
+        wanted = {aliases.get(name, name) for name in only}
+        unknown = sorted(wanted - set(benches))
         if unknown:
             raise SystemExit(
-                f"unknown bench(es) {unknown}; available: {sorted(benches)}"
+                f"unknown bench(es) {unknown}; available: {sorted(benches)} "
+                f"(aliases: {sorted(aliases)})"
             )
-        benches = {name: benches[name] for name in benches if name in set(only)}
+        benches = {name: benches[name] for name in benches if name in wanted}
     from repro.obs.manifest import environment
 
     report: dict[str, Any] = {
@@ -581,8 +585,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-bench", description="Run the perf-regression suite."
     )
     parser.add_argument(
-        "--output", type=Path, default=Path("BENCH_PR7.json"),
-        help="where to write the JSON report (default: BENCH_PR7.json)",
+        "--output", type=Path, default=Path("BENCH_PR10.json"),
+        help="where to write the JSON report (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -601,8 +605,9 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="quarter-size workloads (CI smoke)"
     )
     parser.add_argument(
-        "--only", action="append", default=None, metavar="BENCH",
-        help="run only the named bench (repeatable)",
+        "--only", action="extend", nargs="+", default=None, metavar="BENCH",
+        help="run only the named benches (repeatable; accepts several "
+             "names, plus the aliases engine/datapath)",
     )
     parser.add_argument(
         "--trajectory", nargs="+", type=Path, default=None, metavar="REPORT",

@@ -111,9 +111,11 @@ class DataGenerator:
 
     def _emit(self, port_index: int) -> None:
         self._emit_pending[port_index] = False
-        entry = self.queues[port_index].dequeue()
+        queue = self.queues[port_index]
+        entry = queue.dequeue()
         if entry is None:
             return
+        now = self.sim.now
         flow_id, psn, src_addr, dst_addr, frame_bytes, is_rtx = entry
         data = make_data(
             flow_id,
@@ -121,9 +123,9 @@ class DataGenerator:
             src_addr=src_addr,
             dst_addr=dst_addr,
             frame_bytes=frame_bytes,
-            tx_tstamp_ps=self.sim.now,
+            tx_tstamp_ps=now,
             is_rtx=is_rtx,
-            created_ps=self.sim.now,
+            created_ps=now,
         )
         if self.int_enabled:
             int_telemetry.enable_int(data)
@@ -132,8 +134,6 @@ class DataGenerator:
         self.flow_tx_packets[flow_id] = self.flow_tx_packets.get(flow_id, 0) + 1
         if self.on_generate is not None:
             self.on_generate(port_index, data)
-        if not self.queues[port_index].empty:
+        if queue.length:
             self._emit_pending[port_index] = True
-            self.sim.at(
-                self.sim.now + self.temp_interval_ps, self._emit, port_index
-            )
+            self.sim.at(now + self.temp_interval_ps, self._emit, port_index)

@@ -82,7 +82,12 @@ class RegisterQueue:
                     "a scheduled DATA packet was silently lost"
                 )
             return False
-        self._array.write(self.tail, entry)
+        # Inlined ``self._array.write(self.tail, entry)``: head/tail are
+        # maintained modulo capacity, so the array's own wraparound is
+        # redundant here (the counters still reflect one register op).
+        array = self._array
+        array.writes += 1
+        array._cells[self.tail] = entry
         self.tail = (self.tail + 1) % self.capacity
         self.length += 1
         self.enqueued += 1
@@ -95,9 +100,16 @@ class RegisterQueue:
         be re-enqueued by the same 'packet' — callers get it exactly once."""
         if self.length == 0:
             return None
-        entry = self._array.read(self.header)
-        self._array.write(self.header, None)
-        self.header = (self.header + 1) % self.capacity
+        # Inlined read+clear (see ``enqueue`` for why the wraparound in
+        # ``RegisterArray`` is skipped).
+        array = self._array
+        header = self.header
+        array.reads += 1
+        cells = array._cells
+        entry = cells[header]
+        array.writes += 1
+        cells[header] = None
+        self.header = (header + 1) % self.capacity
         self.length -= 1
         self.dequeued += 1
         return entry

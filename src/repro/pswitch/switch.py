@@ -112,6 +112,9 @@ class MarlinSwitch(Device):
         )
         self.info_generator = InfoGenerator()
         self.unknown_packets = 0
+        #: Hot-path alias: ``receive`` runs once per ingress packet and
+        #: the latency is fixed at deploy time.
+        self._latency = cfg.pipeline_latency_ps
 
     @property
     def n_test_ports(self) -> int:
@@ -120,7 +123,7 @@ class MarlinSwitch(Device):
     # -- ingress dispatch -----------------------------------------------------
 
     def receive(self, packet: Packet, port: Port) -> None:
-        latency = self.config.pipeline_latency_ps
+        latency = self._latency
         if packet.ptype == PTYPE_SCHE:
             if port is not self.fpga_port:
                 raise ConfigError(

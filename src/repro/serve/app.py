@@ -106,6 +106,8 @@ class ReproServer:
         *,
         workers: Optional[int] = None,
         cache_dir: Union[str, Path] = ".repro-cache",
+        cache_max_entries: Optional[int] = None,
+        cache_ttl_s: Optional[float] = None,
         results_dir: Optional[Union[str, Path]] = None,
         max_queued: int = 64,
         task_timeout_s: Optional[float] = None,
@@ -114,7 +116,9 @@ class ReproServer:
         self.port = port
         self.started_unix = time.time()
         self.registry = MetricsRegistry()
-        self.cache = ResultCache(cache_dir)
+        self.cache = ResultCache(
+            cache_dir, max_entries=cache_max_entries, ttl_s=cache_ttl_s
+        )
         runner = CampaignRunner(
             workers=workers,
             results_dir=results_dir,
@@ -154,6 +158,9 @@ class ReproServer:
         )
         registry.bind(
             "repro_serve_cache_entries", lambda: len(self.cache), kind="gauge"
+        )
+        registry.bind(
+            "repro_serve_cache_evictions_total", lambda: self.cache.evictions
         )
 
     def _on_job_event(self, event: str, job: Job) -> None:

@@ -32,16 +32,47 @@ ENTRY_SCHEMA = 1
 
 
 class ResultCache:
-    """Directory-backed result store keyed by canonical config hash."""
+    """Directory-backed result store keyed by canonical config hash.
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    Unbounded by default (the historical behaviour).  ``max_entries``
+    caps the entry count: after each write the least-recently-used
+    entries — by file mtime, which :meth:`get` refreshes on every hit —
+    are pruned until the cap holds.  ``ttl_s`` expires entries by age:
+    a hit on an entry stored longer ago than the TTL deletes it and
+    reports a miss, so the campaign is recomputed fresh.  Every removal
+    either way increments :attr:`evictions`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        *,
+        max_entries: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
         self.cache_dir = Path(cache_dir)
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _evict(self, path: Path) -> None:
+        """Remove one entry file, tolerating concurrent removal."""
+        try:
+            path.unlink()
+        except OSError:
+            return
+        with self._lock:
+            self.evictions += 1
 
     def get(self, key: str) -> Optional[dict[str, Any]]:
         """The cached entry for ``key``, or ``None``.  Counts hit/miss."""
@@ -56,9 +87,43 @@ class ResultCache:
             with self._lock:
                 self.misses += 1
             return None
+        if self.ttl_s is not None:
+            stored = entry.get("stored_unix")
+            if not isinstance(stored, (int, float)) or (
+                time.time() - stored > self.ttl_s
+            ):
+                self._evict(path)
+                with self._lock:
+                    self.misses += 1
+                return None
+        # LRU touch: pruning orders by mtime, so a hit must refresh it.
+        # Explicit times — the default takes the kernel's coarse clock,
+        # whose ~10 ms granularity ties back-to-back hits.
+        now = time.time()
+        try:
+            os.utime(path, times=(now, now))
+        except OSError:
+            pass
         with self._lock:
             self.hits += 1
         return entry
+
+    def _prune(self) -> None:
+        """Drop least-recently-used entries until ``max_entries`` holds."""
+        if self.max_entries is None:
+            return
+        entries = []
+        for path in self.cache_dir.glob("*/*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # concurrently removed
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, path in entries[:excess]:
+            self._evict(path)
 
     def put(
         self,
@@ -97,6 +162,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._prune()
         return path
 
     def __len__(self) -> int:
@@ -106,4 +172,9 @@ class ResultCache:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self),
+            }

@@ -28,6 +28,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim import backend as _backend
 
 #: Compaction triggers when at least this many dead entries exist *and*
 #: they make up at least half the heap.
@@ -119,9 +120,15 @@ class Simulator:
     All model components hold a reference to one :class:`Simulator` and talk
     to each other exclusively by scheduling callbacks on it.  Time is an
     integer number of picoseconds (see :mod:`repro.units`).
+
+    ``backend`` selects the run-loop implementation (see
+    :mod:`repro.sim.backend`): ``None`` consults ``REPRO_SIM_BACKEND``
+    and defaults to ``auto`` (the compiled loop when built, else the
+    reference python loop).  Every backend shares this instance's state
+    and must produce bit-identical event streams.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
         self.now: int = 0
         self._heap: list[tuple] = []
         self._seq: int = 0
@@ -141,6 +148,19 @@ class Simulator:
         #: consulted on the rare paths — cancel, re-arm-earlier,
         #: compaction — never in the run loops.
         self._flight = None
+        resolved = _backend.resolve(backend)
+        #: Effective backend name ("python" or "compiled").
+        self.backend_name = resolved.name
+        #: What was asked for ("auto", "python", "compiled").
+        self.backend_requested = resolved.requested
+        #: Why an explicit request degraded to python, or ``None``.
+        self.backend_fallback_reason = resolved.fallback_reason
+        self._run_loop = resolved.run_loop
+        if resolved.attach is not None:
+            # The compiled backend rebinds the fast-path scheduling
+            # methods on the *instance* to C implementations sharing
+            # this object's heap/seq/clock storage.
+            resolved.attach(self)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -311,150 +331,34 @@ class Simulator:
 
         When ``until_ps`` is given, the clock is advanced to exactly
         ``until_ps`` on return, and events scheduled later stay queued.
+
+        The loop itself lives in the selected backend (see
+        :mod:`repro.sim.backend`); this method owns the reentrancy
+        guard, the profiler dispatch hook, and the final clock advance.
+        The backend folds partial event counts into
+        ``_events_executed`` even when a callback raises.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
         if max_events is not None and max_events <= 0:
             return 0
+        dispatch = None
         if self._profiler is not None:
-            return self._run_profiled(until_ps, max_events)
-        self._running = True
-        self._stopped = False
-        executed = 0
-        # Locals for the hot loop: attribute lookups are off the per-event
-        # path.
-        heap = self._heap
-        pop = _heappop
-        push = _heappush
-        marker = _HANDLE
-        try:
-            if until_ps is None and max_events is None:
-                # Drain loop — the common case.  No horizon or budget
-                # comparison on the per-event path.
-                while heap and not self._stopped:
-                    entry = pop(heap)
-                    args = entry[3]
-                    if args is not marker:
-                        self.now = entry[0]
-                        entry[2](*args)
-                        executed += 1
-                    else:
-                        handle = entry[2]
-                        if handle.seq != entry[1]:
-                            self._dead -= 1
-                            continue
-                        time_ps = entry[0]
-                        if handle.target_ps > time_ps:
-                            # Lazy re-arm: push the reused entry at its
-                            # new time.
-                            seq = self._seq
-                            self._seq = seq + 1
-                            handle.seq = seq
-                            handle.time_ps = handle.target_ps
-                            push(heap, (handle.target_ps, seq, handle, marker))
-                            continue
-                        handle.seq = -1
-                        self.now = time_ps
-                        handle.fn(*handle.args)
-                        executed += 1
-            else:
-                # Bounded loop.  `executed != limit` with limit -1 never
-                # fires, and the `until` bound is a large int so the
-                # comparison stays int/int.
-                until = (1 << 62) if until_ps is None else until_ps
-                limit = -1 if max_events is None else max_events
-                while heap and not self._stopped and executed != limit:
-                    entry = pop(heap)
-                    time_ps = entry[0]
-                    if time_ps > until:
-                        # Past the horizon: put the entry back (same seq,
-                        # so ordering is untouched) and stop.
-                        push(heap, entry)
-                        break
-                    args = entry[3]
-                    if args is not marker:
-                        self.now = time_ps
-                        entry[2](*args)
-                    else:
-                        handle = entry[2]
-                        if handle.seq != entry[1]:
-                            self._dead -= 1
-                            continue
-                        if handle.target_ps > time_ps:
-                            # Lazy re-arm: push the reused entry at its
-                            # new time.
-                            seq = self._seq
-                            self._seq = seq + 1
-                            handle.seq = seq
-                            handle.time_ps = handle.target_ps
-                            push(heap, (handle.target_ps, seq, handle, marker))
-                            continue
-                        handle.seq = -1
-                        self.now = time_ps
-                        handle.fn(*handle.args)
-                    executed += 1
-        finally:
-            self._running = False
-            self._events_executed += executed
-        if until_ps is not None and not self._stopped and self.now < until_ps:
-            self.now = until_ps
-        return executed
+            profiler = self._profiler
+            clock = profiler.clock
+            record = profiler.record
 
-    def _run_profiled(
-        self, until_ps: Optional[int], max_events: Optional[int]
-    ) -> int:
-        """The :meth:`run` loop with per-callback wall-clock attribution.
-
-        A separate loop so enabling the profiler costs the unprofiled
-        path nothing.  Ordering, clock advancement, and lazy re-arm
-        handling mirror :meth:`run` exactly, so a profiled run executes
-        the same events in the same order.
-        """
-        profiler = self._profiler
-        clock = profiler.clock
-        record = profiler.record
-        self._running = True
-        self._stopped = False
-        executed = 0
-        heap = self._heap
-        pop = _heappop
-        push = _heappush
-        marker = _HANDLE
-        until = (1 << 62) if until_ps is None else until_ps
-        limit = -1 if max_events is None else max_events
-        try:
-            while heap and not self._stopped and executed != limit:
-                entry = pop(heap)
-                time_ps = entry[0]
-                if time_ps > until:
-                    push(heap, entry)
-                    break
-                args = entry[3]
-                if args is not marker:
-                    fn = entry[2]
-                else:
-                    handle = entry[2]
-                    if handle.seq != entry[1]:
-                        self._dead -= 1
-                        continue
-                    if handle.target_ps > time_ps:
-                        seq = self._seq
-                        self._seq = seq + 1
-                        handle.seq = seq
-                        handle.time_ps = handle.target_ps
-                        push(heap, (handle.target_ps, seq, handle, marker))
-                        continue
-                    handle.seq = -1
-                    fn = handle.fn
-                    args = handle.args
-                self.now = time_ps
+            def dispatch(fn: Callable[..., None], args: tuple) -> None:
                 t0 = clock()
                 fn(*args)
                 record(fn, clock() - t0)
-                executed += 1
+
+        self._running = True
+        self._stopped = False
+        try:
+            executed = self._run_loop(self, until_ps, max_events, dispatch)
         finally:
             self._running = False
-            self._events_executed += executed
         if until_ps is not None and not self._stopped and self.now < until_ps:
             self.now = until_ps
         return executed

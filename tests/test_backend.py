@@ -1,0 +1,340 @@
+"""Cross-backend determinism and resolution tests.
+
+The backend contract (``repro.sim.backend``) promises that every run
+loop produces *bit-identical* event streams — same pop order, same
+clock stores, same counters — so switching backends can change
+wall-clock speed but never a result.  This suite pins that promise at
+three levels (raw engine schedule, full packet model, sharded
+campaigns), plus the resolution/fallback behaviour the CLI and serve
+layers rely on.
+
+The compiled-backend halves of the identity tests skip when the
+extension is not built; the fallback tests force it "unavailable"
+regardless, so both arms are exercised on every machine.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import ControlPlane
+from repro.core.sweep import run_sweep_point, sweep_campaign
+from repro.errors import ConfigError
+from repro.obs.manifest import environment
+from repro.sim import Simulator
+from repro.sim import backend as backend_mod
+from repro.sim.backend import (
+    BackendFallbackWarning,
+    available_backends,
+    backend_names,
+    compiled_available,
+    resolve,
+    stamp,
+)
+from repro.units import MS
+
+needs_compiled = pytest.mark.skipif(
+    not compiled_available(), reason="compiled engine extension not built"
+)
+
+
+@pytest.fixture
+def no_compiled(monkeypatch):
+    """Force the compiled extension 'unavailable' and re-arm the
+    once-per-process fallback warning for this test."""
+    monkeypatch.setattr(backend_mod, "_CENGINE", None)
+    monkeypatch.setattr(backend_mod, "_PROBED", True)
+    monkeypatch.setattr(
+        backend_mod, "_CENGINE_ERROR", "forced unavailable (test)"
+    )
+    monkeypatch.setattr(backend_mod, "_WARNED_FALLBACK", False)
+
+
+class TestResolution:
+    def test_backend_names(self):
+        assert backend_names() == ("auto", "python", "compiled")
+
+    def test_available_backends(self):
+        avail = available_backends()
+        assert avail["auto"] is True
+        assert avail["python"] is True
+        assert avail["compiled"] == compiled_available()
+
+    def test_explicit_python(self):
+        backend = resolve("python")
+        assert backend.name == "python"
+        assert backend.requested == "python"
+        assert backend.fallback_reason is None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown sim backend"):
+            resolve("turbo")
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "compiled")
+        assert resolve("python").name == "python"
+
+    def test_environment_consulted_without_argument(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "python")
+        backend = resolve(None)
+        assert backend.name == "python"
+        assert backend.requested == "python"
+
+    def test_empty_environment_means_auto(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "")
+        assert resolve(None).requested == "auto"
+
+    def test_simulator_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            Simulator(backend="turbo")
+
+
+class TestFallback:
+    def test_explicit_compiled_falls_back_with_one_warning(self, no_compiled):
+        with pytest.warns(BackendFallbackWarning, match="falling back"):
+            backend = resolve("compiled")
+        assert backend.name == "python"
+        assert backend.requested == "compiled"
+        assert "forced unavailable" in backend.fallback_reason
+        # Second resolution in the same process: silent, still degraded.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = resolve("compiled")
+        assert again.name == "python"
+        assert again.fallback_reason is not None
+
+    def test_auto_fallback_is_silent(self, no_compiled):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = resolve("auto")
+        assert backend.name == "python"
+        assert backend.fallback_reason is None
+
+    def test_degraded_simulator_still_runs(self, no_compiled):
+        with pytest.warns(BackendFallbackWarning):
+            sim = Simulator(backend="compiled")
+        fired = []
+        sim.after(10, fired.append, 1)
+        sim.run(until_ps=20)
+        assert fired == [1]
+        assert sim.backend_name == "python"
+        assert sim.backend_fallback_reason is not None
+
+    def test_stamp_records_fallback_reason(self, no_compiled):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # stamping never warns
+            record = stamp("compiled")
+        assert record["requested"] == "compiled"
+        assert record["name"] == "python"
+        assert "forced unavailable" in record["fallback_reason"]
+
+    def test_stamp_never_raises_on_unknown(self):
+        record = stamp("turbo")
+        assert record["name"] == "python"
+        assert "unknown" in record["fallback_reason"]
+
+    def test_manifest_environment_stamps_backend(self):
+        env = environment()
+        assert set(env["sim_backend"]) == {"requested", "name", "fallback_reason"}
+        assert env["sim_backend"]["name"] in ("python", "compiled")
+
+
+def _scripted_schedule(sim: Simulator) -> list:
+    """A scenario exercising every scheduling shape: fast entries, ties,
+    handles, re-arm, cancel, stop — returns the observed event stream."""
+    log: list = []
+
+    def note(tag):
+        log.append((sim.now, tag))
+
+    def spawn(tag, delay):
+        note(tag)
+        if delay:
+            sim.after(delay, spawn, tag + "'", 0)
+
+    sim.at(5, note, "a")
+    sim.at(5, note, "b")          # same-timestamp batch
+    sim.at(2, spawn, "c", 3)      # schedules c' into the a/b batch
+    sim.call_now(note, "now")
+    handle = sim.schedule_handle(4, note, "h")
+    sim.rearm(handle, 7)          # supersedes the t=4 entry
+    cancelled = sim.schedule_handle(6, note, "never")
+    cancelled.cancel()
+    sim.after(9, sim.stop)
+    sim.after(11, note, "past-stop")
+    sim.run(until_ps=50)
+    log.append(("events", sim.events_executed))
+    sim.run(until_ps=50)          # resume after stop(): drains the rest
+    log.append(("events", sim.events_executed))
+    return log
+
+
+class TestBitIdentity:
+    def test_python_schedule_reference(self):
+        """The scripted stream against literal expectations, so a dual
+        regression in both backends cannot cancel out."""
+        log = _scripted_schedule(Simulator(backend="python"))
+        assert log == [
+            (0, "now"),
+            (2, "c"),
+            (5, "a"),
+            (5, "b"),
+            (5, "c'"),
+            (7, "h"),
+            ("events", 7),        # 6 notes/spawns + stop at t=9
+            (11, "past-stop"),
+            ("events", 8),
+        ]
+
+    @needs_compiled
+    def test_schedule_streams_identical(self):
+        log_py = _scripted_schedule(Simulator(backend="python"))
+        log_c = _scripted_schedule(Simulator(backend="compiled"))
+        assert log_py == log_c
+
+    @needs_compiled
+    def test_profiled_run_identical(self):
+        """The dispatch hook (profiler) must not perturb either loop."""
+        logs = {}
+        for name in ("python", "compiled"):
+            sim = Simulator(backend=name)
+            sim.enable_profiling()
+            logs[name] = _scripted_schedule(sim)
+        assert logs["python"] == logs["compiled"]
+
+    @needs_compiled
+    def test_sweep_point_identical(self):
+        """Full packet model: FCTs, throughput, fairness, queue peaks."""
+        points = {
+            name: run_sweep_point(
+                "dctcp", {}, duration_ps=MS, sim_backend=name
+            )
+            for name in ("python", "compiled")
+        }
+        assert points["python"] == points["compiled"]
+
+    @needs_compiled
+    def test_counters_identical(self):
+        counters = {}
+        for name in ("python", "compiled"):
+            cp = ControlPlane(sim_backend=name)
+            from repro.core import TestConfig
+
+            cp.deploy(TestConfig(cc_algorithm="dctcp", n_test_ports=3, seed=1))
+            cp.wire_loopback_fabric()
+            cp.start_flows(size_packets=10**9, pattern="fan_in")
+            cp.run(duration_ps=MS)
+            counters[name] = (cp.read_measurements(), cp.sim.events_executed)
+        assert counters["python"] == counters["compiled"]
+
+
+class TestCampaignDeterminism:
+    def test_workers_bit_identical(self):
+        """Sharding a campaign across a pool must not change any point."""
+        grid = [{}, {"g": 0.0625}]
+        results = {}
+        for workers in (1, 2):
+            points, _ = sweep_campaign(
+                "dctcp",
+                grid,
+                duration_ps=MS,
+                seeds=2,
+                workers=workers,
+                sim_backend="python",
+            )
+            results[workers] = points
+        assert results[1] == results[2]
+
+    @needs_compiled
+    def test_workers_and_backend_bit_identical(self):
+        """The full matrix: worker count x backend, one answer."""
+        outcomes = set()
+        for workers, name in ((1, "python"), (2, "compiled")):
+            points, _ = sweep_campaign(
+                "dctcp",
+                [{}],
+                duration_ps=MS,
+                workers=workers,
+                sim_backend=name,
+            )
+            outcomes.add(tuple(
+                (p.throughput_bps, p.fairness, p.peak_queue_bytes,
+                 p.flows_completed) for p in points
+            ))
+        assert len(outcomes) == 1
+
+
+class TestPurePythonDatapathIdentity:
+    def test_sweep_point_identical_without_extension(self):
+        """The C queue/port cores must not change a single measurement.
+
+        A subprocess blocks the extension import outright, forcing the
+        pure-Python DropTailQueue/Port (and the python run loop), and
+        its sweep point must equal this process's — whichever datapath
+        implementation this process resolved to.
+        """
+        import dataclasses
+        import json
+        import subprocess
+        import sys
+
+        script = (
+            "import sys, json, dataclasses\n"
+            "sys.modules['repro.sim._cengine'] = None\n"
+            "from repro.core.sweep import run_sweep_point\n"
+            "from repro.units import MS\n"
+            "point = run_sweep_point('dctcp', {}, duration_ps=MS)\n"
+            "print(json.dumps(dataclasses.asdict(point)))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        blocked = json.loads(proc.stdout)
+        here = dataclasses.asdict(run_sweep_point("dctcp", {}, duration_ps=MS))
+        assert blocked == here
+
+
+class TestThreading:
+    def test_control_plane_rejects_sim_and_backend(self):
+        with pytest.raises(ConfigError, match="not both"):
+            ControlPlane(sim=Simulator(), sim_backend="python")
+
+    def test_control_plane_backend_kwarg(self):
+        cp = ControlPlane(sim_backend="python")
+        assert cp.sim.backend_name == "python"
+
+    def test_cli_exposes_sim_backend(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["run", "--sim-backend", "python"])
+        assert args.sim_backend == "python"
+        args = parser.parse_args(["sweep", "--sim-backend", "compiled"])
+        assert args.sim_backend == "compiled"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--sim-backend", "turbo"])
+
+    def test_spec_backend_normalizes_into_hash(self):
+        from repro.serve.spec import parse_spec
+
+        omitted = parse_spec({"kind": "sweep", "algorithm": "dctcp"})
+        spelled = parse_spec(
+            {"kind": "sweep", "algorithm": "dctcp", "sim_backend": "auto"}
+        )
+        forced = parse_spec(
+            {"kind": "sweep", "algorithm": "dctcp", "sim_backend": "python"}
+        )
+        assert omitted.config["sim_backend"] == "auto"
+        assert omitted.config_hash == spelled.config_hash
+        assert omitted.config_hash != forced.config_hash
+
+    def test_spec_rejects_unknown_backend(self):
+        from repro.serve.spec import parse_spec
+
+        with pytest.raises(ConfigError, match="sim_backend"):
+            parse_spec(
+                {"kind": "sweep", "algorithm": "dctcp", "sim_backend": "turbo"}
+            )

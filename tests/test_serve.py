@@ -136,6 +136,87 @@ class TestResultCache:
         assert cache.get(spec.config_hash) is None
 
 
+class TestResultCacheEviction:
+    @staticmethod
+    def _key(i: int) -> str:
+        return f"{i:02x}" + "ab" * 31
+
+    def test_max_entries_prunes_oldest(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path / "cache", max_entries=3)
+        for i in range(5):
+            cache.put(self._key(i), {"i": i}, {"points": [i]})
+            time.sleep(0.02)  # distinct mtimes on coarse-clock kernels
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.get(self._key(0)) is None
+        assert cache.get(self._key(1)) is None
+        assert cache.get(self._key(4)) is not None
+        assert cache.stats()["evictions"] == 2
+
+    def test_hit_refreshes_lru_order(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        cache.put(self._key(0), {}, {"points": [0]})
+        time.sleep(0.02)
+        cache.put(self._key(1), {}, {"points": [1]})
+        time.sleep(0.02)
+        assert cache.get(self._key(0)) is not None  # 0 becomes most recent
+        time.sleep(0.02)
+        cache.put(self._key(2), {}, {"points": [2]})
+        assert cache.get(self._key(0)) is not None  # survived the prune
+        assert cache.get(self._key(1)) is None      # the LRU victim
+
+    def test_ttl_expires_entries(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path / "cache", ttl_s=0.05)
+        cache.put(self._key(0), {}, {"points": []})
+        assert cache.get(self._key(0)) is not None
+        time.sleep(0.1)
+        assert cache.get(self._key(0)) is None  # expired: evicted + miss
+        assert cache.evictions == 1
+        assert len(cache) == 0
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for i in range(5):
+            cache.put(self._key(i), {"i": i}, {"points": [i]})
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_limit_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache", max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache", ttl_s=0)
+
+    def test_server_exposes_eviction_metric(self, tmp_path):
+        from repro.serve import ReproServer
+
+        server = ReproServer(
+            port=0,
+            workers=1,
+            cache_dir=tmp_path / "cache",
+            cache_max_entries=1,
+        )
+        try:
+            server.cache.put(self._key(0), {}, {"points": []})
+            server.cache.put(self._key(1), {}, {"points": []})
+            metrics = {
+                (s.name): s.value
+                for s in server.registry.collect()
+            }
+            assert metrics["repro_serve_cache_evictions_total"] == 1
+            assert server.cache.stats()["evictions"] == 1
+        finally:
+            # The HTTP/queue side never started; only the pool needs
+            # shutting down.
+            server.queue.runner.close()
+
+
 class TestJobQueue:
     def _wait_done(self, queue, job_id, timeout_s=60.0):
         job, _ = queue.wait(job_id, timeout_s=timeout_s)
